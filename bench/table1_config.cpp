@@ -1,0 +1,56 @@
+// Table I: architecture and system configuration.
+//
+// Prints the PIM module, host, and modeled-server parameters this build
+// evaluates, next to the values the paper lists.
+#include <iostream>
+
+#include "baseline/monet.hpp"
+#include "common/table_printer.hpp"
+#include "host/config.hpp"
+#include "pim/config.hpp"
+
+int main() {
+  using bbpim::TablePrinter;
+  const bbpim::pim::PimConfig cfg;
+  const bbpim::host::HostConfig hcfg;
+  const bbpim::baseline::ServerConfig server;
+
+  std::cout << "=== Table I: Single RRAM PIM Module ===\n";
+  TablePrinter pim({"Parameter", "Value", "Paper"});
+  pim.add_row({"Total capacity", std::to_string(cfg.capacity_bytes >> 30) + " GB", "32 GB"});
+  pim.add_row({"Huge page size", std::to_string(cfg.page_bytes() >> 20) + " MB", "2 MB"});
+  pim.add_row({"Memory ranks", "1", "1"});
+  pim.add_row({"PIM chips", std::to_string(cfg.chips), "8"});
+  pim.add_row({"Crossbar rows", std::to_string(cfg.crossbar_rows), "1024"});
+  pim.add_row({"Crossbar columns", std::to_string(cfg.crossbar_cols), "512"});
+  pim.add_row({"Crossbar read", std::to_string(cfg.read_bits) + " bit", "16 bit"});
+  pim.add_row({"Bulk-bitwise logic cycle", TablePrinter::fmt(cfg.logic_cycle_ns, 0) + " ns", "30 ns"});
+  pim.add_row({"Crossbar read energy", TablePrinter::fmt(cfg.read_energy_pj_per_bit, 2) + " pJ/bit", "0.84 pJ/bit"});
+  pim.add_row({"Crossbar write energy", TablePrinter::fmt(cfg.write_energy_pj_per_bit, 2) + " pJ/bit", "6.9 pJ/bit"});
+  pim.add_row({"Bulk-bitwise logic energy", TablePrinter::fmt(cfg.logic_energy_fj_per_bit, 1) + " fJ/bit", "81.6 fJ/bit"});
+  pim.add_row({"Single agg. circuit power", TablePrinter::fmt(cfg.agg_circuit_power_uw, 1) + " uW", "25.4 uW"});
+  pim.add_row({"Single PIM controller power", TablePrinter::fmt(cfg.controller_power_uw, 0) + " uW", "126 uW"});
+  pim.add_row({"Pages in module", std::to_string(cfg.pages_in_module()), "16384"});
+  pim.add_row({"Records per page", std::to_string(cfg.records_per_page()), "32K"});
+  pim.print(std::cout);
+
+  std::cout << "\n=== Table I: Evaluation System (host model) ===\n";
+  TablePrinter host({"Parameter", "Value", "Paper"});
+  host.add_row({"Worker threads", std::to_string(hcfg.threads), "4 (of 6 cores)"});
+  host.add_row({"Line transfer (stream)", TablePrinter::fmt(hcfg.line_stream_ns, 0) + " ns", "DDR4-2400"});
+  host.add_row({"Line transfer (random)", TablePrinter::fmt(hcfg.line_random_ns, 0) + " ns", "DDR4-2400"});
+  host.add_row({"PIM request issue", TablePrinter::fmt(hcfg.issue_ns, 0) + " ns", "uncached store+fence"});
+  host.add_row({"Phase overhead", TablePrinter::fmt(hcfg.phase_overhead_ns / 1000.0, 0) + " us", "barrier+fence [18]"});
+  host.add_row({"Host agg CPU / record", TablePrinter::fmt(hcfg.cpu_ns_per_record, 0) + " ns", "-"});
+  host.print(std::cout);
+
+  std::cout << "\n=== Modeled comparison server (MonetDB host) ===\n";
+  TablePrinter srv({"Parameter", "Value", "Paper"});
+  srv.add_row({"Column scan rate", TablePrinter::fmt(server.scan_gbps, 0) + " GB/s", "2x16-core Xeon, 256 GB DDR4"});
+  srv.add_row({"Hash build / row", TablePrinter::fmt(server.hash_build_ns, 0) + " ns", "-"});
+  srv.add_row({"Hash probe / row", TablePrinter::fmt(server.hash_probe_ns, 0) + " ns", "-"});
+  srv.add_row({"Agg update / row", TablePrinter::fmt(server.agg_update_ns, 0) + " ns", "-"});
+  srv.add_row({"Query startup", TablePrinter::fmt(server.fixed_ns / 1e6, 1) + " ms", "exec-only timing"});
+  srv.print(std::cout);
+  return 0;
+}

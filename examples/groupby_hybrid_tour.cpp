@@ -1,0 +1,122 @@
+// A tour of the hybrid GROUP-BY machinery (Section IV).
+//
+// Shows each ingredient on a real SSB query: the fitted latency model
+// lookup tables (Fig. 4), the subgroup-size estimate from sampling one 2 MB
+// page, the Equation-3 curve T_gb(k), and the planner's chosen split — then
+// executes both the chosen plan and the two fixed policies to show the
+// hybrid winning.
+//
+//   ./examples/groupby_hybrid_tour
+#include <algorithm>
+#include <iostream>
+
+#include "common/table_printer.hpp"
+#include "common/units.hpp"
+#include "engine/groupby.hpp"
+#include "engine/model_fitter.hpp"
+#include "engine/pim_store.hpp"
+#include "engine/query_exec.hpp"
+#include "pim/module.hpp"
+#include "sql/parser.hpp"
+#include "ssb/dbgen.hpp"
+#include "ssb/queries.hpp"
+
+int main() {
+  using namespace bbpim;
+
+  ssb::SsbConfig gen;
+  gen.scale_factor = 0.1;
+  const ssb::SsbData data = ssb::generate(gen);
+  const rel::Table prejoined = ssb::prejoin_ssb(data);
+  pim::PimModule module;
+  engine::PimStore store(module, prejoined);
+  const host::HostConfig hcfg;
+
+  std::cout << "== Step 1: fit the empirical latency models (Fig. 4) ==\n";
+  engine::FitConfig fit;
+  fit.page_counts = {2, 4, 6};
+  fit.ratios = {0.01, 0.05, 0.2, 0.5};
+  fit.s_values = {2, 3, 4};
+  fit.n_values = {1, 2};
+  const engine::ModelFitResult fitted = engine::fit_latency_models(
+      engine::EngineKind::kOneXb, module.config(), hcfg, fit);
+  TablePrinter m({"model", "key", "coefficients", "R^2"});
+  for (const auto& [s, f] : fitted.models.host_slope) {
+    m.add_row({"T_host-gb slope", "s=" + std::to_string(s),
+               "a=" + TablePrinter::fmt(units::ns_to_ms(f.a), 4) +
+                   " b=" + TablePrinter::fmt(units::ns_to_ms(f.b), 4) +
+                   " [ms/page]",
+               TablePrinter::fmt(f.r2, 3)});
+  }
+  for (const auto& [n, f] : fitted.models.pim_gb) {
+    m.add_row({"T_pim-gb", "n=" + std::to_string(n),
+               "slope=" + TablePrinter::fmt(units::ns_to_ms(f.slope), 4) +
+                   " const=" + TablePrinter::fmt(units::ns_to_ms(f.intercept), 4) +
+                   " [ms]",
+               TablePrinter::fmt(f.r2, 3)});
+  }
+  m.print(std::cout);
+
+  engine::PimQueryEngine eng(engine::EngineKind::kOneXb, store, hcfg,
+                             fitted.models);
+  const auto& q = ssb::query("2.2");
+  std::cout << "\n== Step 2: run SSB Q2.2 and inspect the plan ==\n"
+            << q.sql << "\n\n";
+  const sql::BoundQuery bound = sql::bind(sql::parse(q.sql), prejoined.schema());
+  const engine::QueryOutput out = eng.execute(bound);
+  const auto& st = out.stats;
+  std::cout << "Sampled one 2 MB page: found " << st.sampled_subgroups
+            << " of " << st.total_subgroups
+            << " potential subgroups; estimated selectivity "
+            << TablePrinter::fmt_sci(st.selectivity_estimate, 2) << "\n";
+  std::cout << "Top estimated subgroup masses:";
+  for (std::size_t i = 0; i < std::min<std::size_t>(6, st.candidate_masses.size());
+       ++i) {
+    std::cout << " " << TablePrinter::fmt(st.candidate_masses[i], 3);
+  }
+  std::cout << " ... (Zipf skew: a few large, many small)\n";
+
+  std::cout << "\n== Step 3: the Equation-3 curve T_gb(k) ==\n";
+  engine::GroupByPlanInput in;
+  in.pages = static_cast<double>(store.pages_per_part());
+  in.n = st.n_chunks;
+  in.s = st.s_chunks;
+  in.selectivity_est = st.selectivity_estimate;
+  in.candidates_complete = st.candidates_complete;
+  for (const double mass : st.candidate_masses) {
+    engine::GroupCandidate c;
+    c.est_mass = mass;
+    in.candidates.push_back(c);
+  }
+  const engine::GroupByPlan plan = engine::choose_k(fitted.models, in);
+  TablePrinter curve({"k", "predicted T_gb [ms]", ""});
+  for (std::size_t k = 0; k < plan.t_of_k.size();
+       k += std::max<std::size_t>(1, plan.t_of_k.size() / 10)) {
+    curve.add_row({std::to_string(k),
+                   TablePrinter::fmt(units::ns_to_ms(plan.t_of_k[k]), 3),
+                   k == plan.k ? "<== argmin" : ""});
+  }
+  curve.print(std::cout);
+  std::cout << "Planner chose k=" << st.pim_subgroups << " (model argmin "
+            << plan.k << ")\n";
+
+  std::cout << "\n== Step 4: hybrid vs fixed policies ==\n";
+  engine::ExecOptions host_only;
+  host_only.force_k = 0;
+  engine::ExecOptions pim_all;
+  pim_all.force_k = st.total_subgroups;
+  const auto t_hybrid = st.total_ns;
+  const auto t_host = eng.execute(bound, host_only).stats.total_ns;
+  const auto t_pim = eng.execute(bound, pim_all).stats.total_ns;
+  TablePrinter res({"policy", "latency [ms]"});
+  res.add_row({"pure host-gb (k=0)",
+               TablePrinter::fmt(units::ns_to_ms(t_host), 3)});
+  res.add_row({"pure pim-gb (k=kmax)",
+               TablePrinter::fmt(units::ns_to_ms(t_pim), 3)});
+  res.add_row({"hybrid (planner)",
+               TablePrinter::fmt(units::ns_to_ms(t_hybrid), 3)});
+  res.print(std::cout);
+  std::cout << "\nThe hybrid never loses to either fixed policy; at larger "
+               "relation sizes (paper: M=1831 pages) the gap widens.\n";
+  return 0;
+}

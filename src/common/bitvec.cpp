@@ -1,0 +1,69 @@
+#include "common/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace bbpim {
+
+BitVec::BitVec(std::size_t nbits, bool value)
+    : nbits_(nbits),
+      words_((nbits + 63) / 64, value ? ~0ULL : 0ULL) {
+  clear_tail();
+}
+
+void BitVec::clear_tail() {
+  const std::size_t tail = nbits_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (1ULL << tail) - 1;
+  }
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+BitVec& BitVec::operator&=(const BitVec& other) {
+  if (other.nbits_ != nbits_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& other) {
+  if (other.nbits_ != nbits_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) {
+  if (other.nbits_ != nbits_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+void BitVec::flip() {
+  for (std::uint64_t& w : words_) w = ~w;
+  clear_tail();
+}
+
+bool BitVec::operator==(const BitVec& other) const {
+  return nbits_ == other.nbits_ && words_ == other.words_;
+}
+
+std::size_t BitVec::find_next(std::size_t from) const {
+  if (from >= nbits_) return nbits_;
+  std::size_t wi = from >> 6;
+  std::uint64_t w = words_[wi] & (~0ULL << (from & 63));
+  while (true) {
+    if (w != 0) {
+      const std::size_t bit = (wi << 6) +
+          static_cast<std::size_t>(std::countr_zero(w));
+      return bit < nbits_ ? bit : nbits_;
+    }
+    if (++wi == words_.size()) return nbits_;
+    w = words_[wi];
+  }
+}
+
+}  // namespace bbpim

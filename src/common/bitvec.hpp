@@ -1,0 +1,59 @@
+// Dynamic bit vector with word-level bulk operations.
+//
+// Used for host-side filter results (one bit per record) and as the reference
+// implementation that PIM bit-column results are checked against in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bbpim {
+
+/// A fixed-size-after-construction vector of bits, packed into 64-bit words.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool v) {
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+
+  /// Number of set bits.
+  std::size_t popcount() const;
+
+  /// In-place logical ops; operands must have equal size.
+  BitVec& operator&=(const BitVec& other);
+  BitVec& operator|=(const BitVec& other);
+  BitVec& operator^=(const BitVec& other);
+  /// Flips every bit (tail bits beyond size stay clear).
+  void flip();
+
+  bool operator==(const BitVec& other) const;
+
+  /// Index of the first set bit at or after `from`, or size() if none.
+  std::size_t find_next(std::size_t from) const;
+
+  /// Direct word access for bulk transfer into/out of crossbars.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+  std::vector<std::uint64_t>& words() { return words_; }
+
+ private:
+  void clear_tail();
+
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bbpim

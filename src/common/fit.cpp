@@ -1,0 +1,74 @@
+#include "common/fit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace bbpim {
+namespace {
+
+double r_squared(std::span<const double> ys, std::span<const double> fitted) {
+  double mean = 0.0;
+  for (double y : ys) mean += y;
+  mean /= static_cast<double>(ys.size());
+  double ss_tot = 0.0, ss_res = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_tot += (ys[i] - mean) * (ys[i] - mean);
+    ss_res += (ys[i] - fitted[i]) * (ys[i] - fitted[i]);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_linear: need >= 2 matched points");
+  }
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double det = n * sxx - sx * sx;
+  LinearFit f;
+  if (det == 0.0) {
+    // Degenerate: all x equal; fall back to constant fit.
+    f.slope = 0.0;
+    f.intercept = sy / n;
+  } else {
+    f.slope = (n * sxy - sx * sy) / det;
+    f.intercept = (sy - f.slope * sx) / n;
+  }
+  std::vector<double> fitted(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) fitted[i] = f.eval(xs[i]);
+  f.r2 = r_squared(ys, fitted);
+  return f;
+}
+
+double SqrtFit::eval(double x) const { return a * std::sqrt(x) + b; }
+
+SqrtFit fit_sqrt(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_sqrt: need >= 2 matched points");
+  }
+  std::vector<double> roots(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] < 0.0) throw std::invalid_argument("fit_sqrt: negative x");
+    roots[i] = std::sqrt(xs[i]);
+  }
+  const LinearFit lin = fit_linear(roots, ys);
+  SqrtFit f;
+  f.a = lin.slope;
+  f.b = lin.intercept;
+  std::vector<double> fitted(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) fitted[i] = f.eval(xs[i]);
+  f.r2 = r_squared(ys, fitted);
+  return f;
+}
+
+}  // namespace bbpim

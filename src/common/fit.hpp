@@ -1,0 +1,40 @@
+// Least-squares curve fitting for the empirical latency models of Section IV.
+//
+// The paper fits T_host-gb slopes to a(s)*sqrt(r) + b(s) and T_pim-gb to a
+// straight line in the page count M. Both are linear least squares in the
+// coefficients, solved in closed form.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace bbpim {
+
+/// Result of fitting y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  /// Coefficient of determination (1 = perfect fit).
+  double r2 = 0.0;
+
+  double eval(double x) const { return slope * x + intercept; }
+};
+
+/// Fits y = slope*x + intercept by ordinary least squares.
+/// Requires xs.size() == ys.size() >= 2.
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Result of fitting y = a * sqrt(x) + b.
+struct SqrtFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+
+  double eval(double x) const;
+};
+
+/// Fits y = a*sqrt(x) + b (linear least squares in the basis {sqrt(x), 1}).
+/// Requires xs.size() == ys.size() >= 2 and xs[i] >= 0.
+SqrtFit fit_sqrt(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace bbpim

@@ -1,0 +1,38 @@
+// Console table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the same rows/series the paper's table or figure
+// reports; this helper keeps those tables aligned and diff-friendly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bbpim {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells throw.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header underline and two-space column gaps.
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string fmt(double v, int precision = 3);
+  /// Formats a double in scientific notation (paper-style selectivities).
+  static std::string fmt_sci(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bbpim

@@ -1,0 +1,156 @@
+#include "engine/explain.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "engine/filter_compiler.hpp"
+#include "pim/agg_circuit.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+const char* op_name(pim::MicroOpKind kind) {
+  switch (kind) {
+    case pim::MicroOpKind::kInit0: return "INIT0";
+    case pim::MicroOpKind::kInit1: return "INIT1";
+    case pim::MicroOpKind::kNot: return "NOT  ";
+    case pim::MicroOpKind::kNor: return "NOR  ";
+  }
+  return "?";
+}
+
+std::string pred_text(const sql::BoundPredicate& p, const rel::Schema& schema) {
+  const std::string name = schema.attribute(p.attr).name;
+  using Kind = sql::BoundPredicate::Kind;
+  std::ostringstream ss;
+  switch (p.kind) {
+    case Kind::kEq: ss << name << " == " << p.v1; break;
+    case Kind::kLt: ss << name << " < " << p.v1; break;
+    case Kind::kLe: ss << name << " <= " << p.v1; break;
+    case Kind::kGt: ss << name << " > " << p.v1; break;
+    case Kind::kGe: ss << name << " >= " << p.v1; break;
+    case Kind::kBetween:
+      ss << p.v1 << " <= " << name << " <= " << p.v2;
+      break;
+    case Kind::kIn: {
+      ss << name << " IN {";
+      for (std::size_t i = 0; i < p.in_values.size(); ++i) {
+        ss << (i ? "," : "") << p.in_values[i];
+      }
+      ss << "}";
+      break;
+    }
+    case Kind::kNever: ss << "FALSE"; break;
+    case Kind::kAlways: ss << "TRUE"; break;
+  }
+  return ss.str();
+}
+
+}  // namespace
+
+void disassemble(const pim::MicroProgram& prog, std::ostream& os) {
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    const pim::MicroOp& op = prog[i];
+    os << std::setw(4) << std::setfill('0') << i << ' ' << op_name(op.kind);
+    switch (op.kind) {
+      case pim::MicroOpKind::kInit0:
+      case pim::MicroOpKind::kInit1:
+        os << "              -> c" << op.out;
+        break;
+      case pim::MicroOpKind::kNot:
+        os << " c" << std::setw(3) << op.a << "       -> c" << op.out;
+        break;
+      case pim::MicroOpKind::kNor:
+        os << " c" << std::setw(3) << op.a << " c" << std::setw(3) << op.b
+           << " -> c" << op.out;
+        break;
+    }
+    os << '\n';
+  }
+  os << std::setfill(' ');
+}
+
+void explain_query(const sql::BoundQuery& q, const PimStore& store,
+                   std::ostream& os) {
+  const rel::Schema& schema = store.table().schema();
+  const pim::PimConfig& cfg = store.module_config();
+
+  os << "== physical plan (" << (store.parts() == 2 ? "two-xb" : "one-xb")
+     << ", M=" << store.pages_per_part() << " pages/part, "
+     << store.record_count() << " records) ==\n";
+
+  // Phase 1: filter programs per part.
+  for (int part = 0; part < store.parts(); ++part) {
+    pim::ColumnAlloc alloc = store.layout(part).make_alloc();
+    const CompiledFilter f = compile_filter(q.filters, store.layout(part), alloc);
+    os << "FILTER part " << part << ": " << f.predicate_count
+       << " predicate(s), " << f.program.size() << " cycles ("
+       << f.program.size() * cfg.logic_cycle_ns / 1000.0 << " us/page)\n";
+    for (const sql::BoundPredicate& p : q.filters) {
+      if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+      if (p.kind != sql::BoundPredicate::Kind::kNever &&
+          !store.layout(part).has(p.attr)) {
+        continue;
+      }
+      os << "    " << pred_text(p, schema) << "\n";
+    }
+  }
+  if (store.parts() == 2) {
+    os << "TRANSFER: part-1 result column -> host -> part-0 ("
+       << cfg.crossbar_rows << " lines/page each way), AND on part 0\n";
+  }
+
+  // Aggregation passes (mirrors build_agg_passes).
+  os << "AGGREGATE: ";
+  if (q.agg_func == sql::AggFunc::kCount) {
+    os << "COUNT via SUM of the select column (1 pass, n=1)\n";
+  } else {
+    const std::string a = schema.attribute(q.agg_expr.a).name;
+    switch (q.agg_expr.kind) {
+      case sql::Expr::Kind::kColumn:
+        os << (q.agg_func == sql::AggFunc::kMin   ? "MIN("
+               : q.agg_func == sql::AggFunc::kMax ? "MAX("
+                                                  : "SUM(")
+           << a << "): 1 circuit pass, n="
+           << pim::chunk_span(store.field(q.agg_expr.a), cfg) << "\n";
+        break;
+      case sql::Expr::Kind::kSub:
+      case sql::Expr::Kind::kAdd:
+        os << "SUM(" << a
+           << (q.agg_expr.kind == sql::Expr::Kind::kSub ? " - " : " + ")
+           << schema.attribute(q.agg_expr.b).name
+           << "): 2 passes by linearity\n";
+        break;
+      case sql::Expr::Kind::kMul: {
+        const std::string b = schema.attribute(q.agg_expr.b).name;
+        const auto fa = store.field(q.agg_expr.a);
+        const auto fb = store.field(q.agg_expr.b);
+        const auto narrow = fa.width <= fb.width ? fa : fb;
+        os << "SUM(" << a << " * " << b << "): " << narrow.width
+           << " masked passes (one per multiplier bit) + 1 count pass\n";
+        break;
+      }
+    }
+  }
+
+  // GROUP BY.
+  if (q.has_group_by()) {
+    os << "GROUP BY:";
+    for (const std::size_t g : q.group_by) {
+      os << " " << schema.attribute(g).name << "(part "
+         << store.part_of_attr(g) << ")";
+    }
+    os << "\n  hybrid split: sample 1 page -> Equation 3 picks k\n";
+  } else {
+    os << "NO GROUP BY: single PIM aggregation over the filter result\n";
+  }
+}
+
+std::string explain_query(const sql::BoundQuery& q, const PimStore& store) {
+  std::ostringstream ss;
+  explain_query(q, store, ss);
+  return ss.str();
+}
+
+}  // namespace bbpim::engine

@@ -1,0 +1,31 @@
+// EXPLAIN: human-readable physical plans and micro-program disassembly.
+//
+// `explain_query` renders what the executor will do for a bound query on a
+// given store — which predicates compile to which part, the micro-program
+// cycle budget per phase, the aggregation passes (including the product
+// decomposition), and the model parameters (n, s) fed to the GROUP-BY
+// planner. `disassemble` prints a MicroProgram cycle by cycle. Both exist
+// for the same reason EXPLAIN exists in databases: trusting a 2000-cycle
+// NOR program requires being able to read it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "engine/pim_store.hpp"
+#include "pim/microop.hpp"
+#include "sql/logical_plan.hpp"
+
+namespace bbpim::engine {
+
+/// One micro-op per line: "0003 NOR  c041 c120 -> c200".
+void disassemble(const pim::MicroProgram& prog, std::ostream& os);
+
+/// Renders the physical plan for `q` on `store`.
+void explain_query(const sql::BoundQuery& q, const PimStore& store,
+                   std::ostream& os);
+
+/// Convenience: explain to a string.
+std::string explain_query(const sql::BoundQuery& q, const PimStore& store);
+
+}  // namespace bbpim::engine

@@ -1,0 +1,106 @@
+#include "engine/filter_compiler.hpp"
+
+#include <stdexcept>
+
+namespace bbpim::engine {
+namespace {
+
+/// Emits one predicate; returns the owned result column.
+std::uint16_t emit_predicate(pim::ProgramBuilder& pb, const RecordLayout& layout,
+                             const sql::BoundPredicate& p) {
+  using Kind = sql::BoundPredicate::Kind;
+  const pim::Field f = layout.field(p.attr);
+  switch (p.kind) {
+    case Kind::kEq: return pb.emit_eq_const(f, p.v1);
+    case Kind::kLt: return pb.emit_lt_const(f, p.v1);
+    case Kind::kLe: return pb.emit_le_const(f, p.v1);
+    case Kind::kGt: return pb.emit_gt_const(f, p.v1);
+    case Kind::kGe: return pb.emit_ge_const(f, p.v1);
+    case Kind::kBetween: return pb.emit_between_const(f, p.v1, p.v2);
+    case Kind::kIn: return pb.emit_in_set(f, p.in_values);
+    case Kind::kNever: return pb.emit_const(false);
+    case Kind::kAlways: return pb.emit_const(true);
+  }
+  throw std::logic_error("emit_predicate: unhandled kind");
+}
+
+}  // namespace
+
+CompiledFilter compile_filter(const std::vector<sql::BoundPredicate>& filters,
+                              const RecordLayout& layout,
+                              pim::ColumnAlloc& alloc) {
+  pim::ProgramBuilder pb(alloc);
+  std::uint16_t acc = 0;
+  bool have_acc = false;
+  std::size_t compiled = 0;
+
+  for (const sql::BoundPredicate& p : filters) {
+    if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+    if (p.kind != sql::BoundPredicate::Kind::kNever && !layout.has(p.attr)) {
+      continue;  // another part's predicate
+    }
+    const std::uint16_t term = emit_predicate(pb, layout, p);
+    ++compiled;
+    if (!have_acc) {
+      acc = term;
+      have_acc = true;
+    } else {
+      const std::uint16_t next = pb.emit_and(acc, term);
+      pb.release(acc);
+      pb.release(term);
+      acc = next;
+    }
+  }
+
+  // Fold in validity: padding rows must never pass.
+  std::uint16_t result;
+  if (have_acc) {
+    result = pb.emit_and(acc, layout.valid_col());
+    pb.release(acc);
+  } else {
+    result = pb.emit_copy(layout.valid_col());
+  }
+
+  CompiledFilter out;
+  out.program = pb.take();
+  out.result_col = result;
+  out.predicate_count = compiled;
+  return out;
+}
+
+CompiledFilter compile_group_match(const std::vector<std::size_t>& group_attrs,
+                                   const std::vector<std::uint64_t>& key,
+                                   const RecordLayout& layout,
+                                   pim::ColumnAlloc& alloc) {
+  if (group_attrs.size() != key.size()) {
+    throw std::invalid_argument("compile_group_match: key arity mismatch");
+  }
+  pim::ProgramBuilder pb(alloc);
+  std::uint16_t acc = 0;
+  bool have_acc = false;
+  std::size_t compiled = 0;
+  for (std::size_t i = 0; i < group_attrs.size(); ++i) {
+    if (!layout.has(group_attrs[i])) continue;
+    const std::uint16_t eq =
+        pb.emit_eq_const(layout.field(group_attrs[i]), key[i]);
+    ++compiled;
+    if (!have_acc) {
+      acc = eq;
+      have_acc = true;
+    } else {
+      const std::uint16_t next = pb.emit_and(acc, eq);
+      pb.release(acc);
+      pb.release(eq);
+      acc = next;
+    }
+  }
+  if (!have_acc) acc = pb.emit_const(true);
+
+  CompiledFilter out;
+  out.program = pb.take();
+  out.result_col = acc;
+  out.predicate_count = compiled;
+  return out;
+}
+
+}  // namespace bbpim::engine

@@ -1,0 +1,43 @@
+// Compiling WHERE conjunctions into bulk-bitwise micro-programs.
+//
+// Each predicate lowers to the NOR-only comparison builders of
+// pim/microcode.hpp; the conjunction is an AND chain ending with the
+// validity bit, producing one result bit per record. For vertically
+// partitioned relations the conjunction is compiled per part; the engine
+// combines part results via a host transfer (Section V-A).
+#pragma once
+
+#include <vector>
+
+#include "engine/layout.hpp"
+#include "pim/microcode.hpp"
+#include "sql/logical_plan.hpp"
+
+namespace bbpim::engine {
+
+struct CompiledFilter {
+  pim::MicroProgram program;
+  /// Result bit column (stays allocated in the caller's ColumnAlloc until
+  /// released).
+  std::uint16_t result_col = 0;
+  /// Number of this part's predicates actually compiled (kAlways excluded).
+  std::size_t predicate_count = 0;
+};
+
+/// Compiles the predicates that touch attributes of `layout` (others are
+/// another part's business). The result column evaluates to
+/// AND(predicates) AND valid. A part with no predicates yields a copy of the
+/// validity column so that downstream code can treat all parts uniformly.
+CompiledFilter compile_filter(const std::vector<sql::BoundPredicate>& filters,
+                              const RecordLayout& layout,
+                              pim::ColumnAlloc& alloc);
+
+/// Compiles an equality match on a subgroup's identifier values:
+/// result = AND_i (group_attr_i == key_i) for the attrs present in `layout`.
+/// Used by pim-gb (Section IV). Attrs absent from this part are skipped.
+CompiledFilter compile_group_match(const std::vector<std::size_t>& group_attrs,
+                                   const std::vector<std::uint64_t>& key,
+                                   const RecordLayout& layout,
+                                   pim::ColumnAlloc& alloc);
+
+}  // namespace bbpim::engine

@@ -1,0 +1,44 @@
+#include "engine/groupby.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbpim::engine {
+
+void sort_candidates(std::vector<GroupCandidate>& candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const GroupCandidate& a, const GroupCandidate& b) {
+              if (a.est_mass != b.est_mass) return a.est_mass > b.est_mass;
+              if (a.sampled != b.sampled) return a.sampled;
+              return a.key < b.key;
+            });
+}
+
+GroupByPlan choose_k(const LatencyModels& models, const GroupByPlanInput& in) {
+  if (!models.fitted()) {
+    throw std::logic_error("choose_k: latency models not fitted");
+  }
+  const std::size_t kmax = in.candidates.size();
+  const TimeNs t_pim_one = models.pim_gb_ns(in.pages, in.n);
+
+  GroupByPlan plan;
+  plan.t_of_k.reserve(kmax + 1);
+  double cum_mass = 0.0;
+  TimeNs best = -1.0;
+  for (std::size_t k = 0; k <= kmax; ++k) {
+    if (k > 0) cum_mass += in.candidates[k - 1].est_mass;
+    const double r = in.selectivity_est * std::max(0.0, 1.0 - cum_mass);
+    const bool pure_pim = in.candidates_complete && k == kmax;
+    const TimeNs t = static_cast<double>(k) * t_pim_one +
+                     (pure_pim ? 0.0 : models.host_gb_ns(in.pages, in.s, r));
+    plan.t_of_k.push_back(t);
+    if (best < 0 || t < best) {
+      best = t;
+      plan.k = k;
+      plan.predicted_ns = t;
+    }
+  }
+  return plan;
+}
+
+}  // namespace bbpim::engine

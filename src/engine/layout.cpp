@@ -1,0 +1,51 @@
+#include "engine/layout.hpp"
+
+#include <stdexcept>
+
+namespace bbpim::engine {
+
+RecordLayout RecordLayout::build(const rel::Schema& schema,
+                                 std::span<const std::size_t> attrs,
+                                 const pim::PimConfig& cfg) {
+  RecordLayout l;
+  std::uint32_t offset = 0;
+  for (const std::size_t a : attrs) {
+    const rel::Attribute& attr = schema.attribute(a);
+    l.attrs_.push_back(a);
+    l.fields_.push_back(pim::Field{static_cast<std::uint16_t>(offset),
+                                   static_cast<std::uint16_t>(attr.bits)});
+    offset += attr.bits;
+  }
+  l.valid_col_ = static_cast<std::uint16_t>(offset);
+  offset += 1;
+  if (offset > cfg.crossbar_cols) {
+    throw std::runtime_error(
+        "RecordLayout: record exceeds crossbar row (" + std::to_string(offset) +
+        " > " + std::to_string(cfg.crossbar_cols) +
+        " bits); vertical partitioning required");
+  }
+  l.scratch_begin_ = static_cast<std::uint16_t>(offset);
+  l.total_cols_ = static_cast<std::uint16_t>(cfg.crossbar_cols);
+  // A usable layout needs scratch room for filter temporaries; 16 columns is
+  // the practical floor (predicate chains hold ~6 temporaries plus results).
+  if (l.scratch_cols() < 16) {
+    throw std::runtime_error("RecordLayout: fewer than 16 scratch columns");
+  }
+  return l;
+}
+
+bool RecordLayout::has(std::size_t attr) const {
+  for (const std::size_t a : attrs_) {
+    if (a == attr) return true;
+  }
+  return false;
+}
+
+pim::Field RecordLayout::field(std::size_t attr) const {
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return fields_[i];
+  }
+  throw std::out_of_range("RecordLayout::field: attribute not in this part");
+}
+
+}  // namespace bbpim::engine

@@ -1,0 +1,93 @@
+#include "engine/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bbpim::engine {
+
+std::function<int(const std::string&)> PartitionPlan::to_part_function(
+    const rel::Schema& schema) const {
+  // Capture a name->part map by value so the function outlives the plan.
+  std::vector<std::pair<std::string, int>> mapping;
+  mapping.reserve(part_of.size());
+  for (std::size_t a = 0; a < part_of.size(); ++a) {
+    mapping.emplace_back(schema.attribute(a).name, part_of[a]);
+  }
+  return [mapping](const std::string& name) {
+    for (const auto& [n, p] : mapping) {
+      if (n == name) return p;
+    }
+    throw std::invalid_argument("partition: unknown attribute '" + name + "'");
+  };
+}
+
+PartitionPlan plan_vertical_partition(const rel::Schema& schema,
+                                      const pim::PimConfig& cfg,
+                                      std::span<const std::size_t> hot_attrs,
+                                      std::uint32_t scratch_reserve) {
+  const std::size_t n = schema.attribute_count();
+  if (n == 0) throw std::invalid_argument("partition: empty schema");
+  if (scratch_reserve + 1 >= cfg.crossbar_cols) {
+    throw std::invalid_argument("partition: scratch reserve exceeds the row");
+  }
+  // Capacity per part: the row minus the validity bit and scratch headroom.
+  const std::uint32_t capacity = cfg.crossbar_cols - 1 - scratch_reserve;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (schema.attribute(a).bits > capacity) {
+      throw std::invalid_argument("partition: attribute '" +
+                                  schema.attribute(a).name +
+                                  "' is wider than a part's capacity");
+    }
+  }
+
+  // Placement order: hot attributes first (priority order), then the rest
+  // by descending width (classic first-fit-decreasing).
+  std::vector<bool> is_hot(n, false);
+  std::vector<std::size_t> order;
+  for (const std::size_t a : hot_attrs) {
+    if (a >= n) throw std::out_of_range("partition: bad hot attribute index");
+    if (!is_hot[a]) {
+      is_hot[a] = true;
+      order.push_back(a);
+    }
+  }
+  std::vector<std::size_t> cold;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (!is_hot[a]) cold.push_back(a);
+  }
+  std::sort(cold.begin(), cold.end(), [&](std::size_t x, std::size_t y) {
+    const std::uint32_t bx = schema.attribute(x).bits;
+    const std::uint32_t by = schema.attribute(y).bits;
+    if (bx != by) return bx > by;
+    return x < y;
+  });
+  order.insert(order.end(), cold.begin(), cold.end());
+
+  PartitionPlan plan;
+  plan.part_of.assign(n, -1);
+  std::vector<std::uint32_t> used;
+  for (const std::size_t a : order) {
+    const std::uint32_t bits = schema.attribute(a).bits;
+    int placed = -1;
+    // First-fit; hot attributes were ordered first, so they claim part 0
+    // until it fills — the Section III locality heuristic.
+    for (std::size_t p = 0; p < used.size(); ++p) {
+      if (used[p] + bits <= capacity) {
+        placed = static_cast<int>(p);
+        break;
+      }
+    }
+    if (placed < 0) {
+      used.push_back(0);
+      placed = static_cast<int>(used.size() - 1);
+    }
+    used[static_cast<std::size_t>(placed)] += bits;
+    plan.part_of[a] = placed;
+  }
+  plan.parts = static_cast<int>(used.size());
+  plan.bits_used = std::move(used);
+  return plan;
+}
+
+}  // namespace bbpim::engine

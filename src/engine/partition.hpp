@@ -1,0 +1,48 @@
+// Automatic vertical partitioning (Section III).
+//
+// When a pre-joined record exceeds one crossbar row, the relation must be
+// split into attribute groups stored on aligned page sets — and Section III
+// notes the partition "should locate the commonly used attributes together
+// in a single crossbar, preventing intermediate result transfers in the
+// common case". This planner does exactly that: a greedy first-fit that
+// places workload-hot attributes into the primary part first, keeps scratch
+// headroom for filter programs and aggregation results, and falls back to
+// width-descending packing for the rest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pim/config.hpp"
+#include "relational/schema.hpp"
+
+namespace bbpim::engine {
+
+struct PartitionPlan {
+  /// Part index per schema attribute.
+  std::vector<int> part_of;
+  int parts = 1;
+  /// Data bits used per part (excluding validity and scratch).
+  std::vector<std::uint32_t> bits_used;
+
+  /// Adapter for PimStore::Options::part_of.
+  std::function<int(const std::string&)> to_part_function(
+      const rel::Schema& schema) const;
+};
+
+/// Plans a vertical partition of `schema` into as few parts as possible.
+///
+/// `hot_attrs` (optional, in priority order) are packed into part 0 first —
+/// typically the attributes the workload filters and aggregates, so the
+/// common case avoids inter-part transfers. `scratch_reserve` columns per
+/// crossbar row are kept free for query scratch (filter temporaries,
+/// aggregation results). Throws when any single attribute cannot fit.
+PartitionPlan plan_vertical_partition(const rel::Schema& schema,
+                                      const pim::PimConfig& cfg,
+                                      std::span<const std::size_t> hot_attrs = {},
+                                      std::uint32_t scratch_reserve = 96);
+
+}  // namespace bbpim::engine

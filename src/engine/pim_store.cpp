@@ -1,0 +1,167 @@
+#include "engine/pim_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace bbpim::engine {
+
+PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
+    : module_(&module), table_(&table), two_crossbar_(opt.two_crossbar) {
+  const rel::Schema& schema = table.schema();
+  const std::size_t nattrs = schema.attribute_count();
+  if (nattrs == 0) throw std::invalid_argument("PimStore: empty schema");
+
+  // Part assignment.
+  attr_part_.resize(nattrs, 0);
+  if (two_crossbar_) {
+    auto default_rule = [](const std::string& name) {
+      return name.rfind("lo_", 0) == 0 ? 0 : 1;
+    };
+    for (std::size_t a = 0; a < nattrs; ++a) {
+      attr_part_[a] = opt.part_of ? opt.part_of(schema.attribute(a).name)
+                                  : default_rule(schema.attribute(a).name);
+      if (attr_part_[a] < 0 || attr_part_[a] > 1) {
+        throw std::invalid_argument("PimStore: part must be 0 or 1");
+      }
+    }
+  }
+
+  // Layouts per part.
+  const pim::PimConfig& cfg = module.config();
+  for (int part = 0; part < parts(); ++part) {
+    std::vector<std::size_t> attrs;
+    for (std::size_t a = 0; a < nattrs; ++a) {
+      if (attr_part_[a] == part) attrs.push_back(a);
+    }
+    if (attrs.empty()) {
+      throw std::invalid_argument("PimStore: a part has no attributes");
+    }
+    layouts_.push_back(RecordLayout::build(schema, attrs, cfg));
+  }
+
+  // Page allocation: all parts span the same number of pages so that record
+  // coordinates align across parts.
+  records_ = table.row_count();
+  if (records_ == 0) throw std::invalid_argument("PimStore: empty relation");
+  records_per_page_ = cfg.records_per_page();
+  pages_per_part_ = (records_ + records_per_page_ - 1) / records_per_page_;
+  for (int part = 0; part < parts(); ++part) {
+    base_page_.push_back(module.allocate_pages(pages_per_part_));
+  }
+
+  for (int part = 0; part < parts(); ++part) load_part(part);
+
+  // Distinct stats for GROUP-BY candidate enumeration.
+  distinct_.resize(nattrs);
+  for (std::size_t a = 0; a < nattrs; ++a) {
+    std::unordered_set<std::uint64_t> seen;
+    bool capped = false;
+    for (const std::uint64_t v : table.column(a)) {
+      seen.insert(v);
+      if (seen.size() > opt.max_distinct) {
+        capped = true;
+        break;
+      }
+    }
+    if (!capped) {
+      std::vector<std::uint64_t> vals(seen.begin(), seen.end());
+      std::sort(vals.begin(), vals.end());
+      distinct_[a] = std::move(vals);
+    }
+  }
+}
+
+void PimStore::load_part(int part) {
+  const RecordLayout& layout = layouts_[part];
+  for (std::size_t p = 0; p < pages_per_part_; ++p) {
+    pim::Page& pg = page(part, p);
+    const std::size_t first = p * records_per_page_;
+    const std::uint32_t count = page_records(p);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::size_t r = first + i;
+      const pim::Page::RecordCoord c = pg.locate(i);
+      pim::Crossbar& xb = pg.crossbar(c.crossbar);
+      for (const std::size_t a : layout.attrs()) {
+        const pim::Field f = layout.field(a);
+        xb.write_row_bits(c.row, f.offset, f.width, table_->value(r, a));
+      }
+      xb.write_row_bits(c.row, layout.valid_col(), 1, 1);
+    }
+  }
+}
+
+pim::Page& PimStore::page(int part, std::size_t i) {
+  return module_->page(module_page_index(part, i));
+}
+
+std::size_t PimStore::module_page_index(int part, std::size_t i) const {
+  if (i >= pages_per_part_) throw std::out_of_range("PimStore: page index");
+  return base_page_.at(part) + i;
+}
+
+std::uint32_t PimStore::page_records(std::size_t i) const {
+  const std::size_t first = i * records_per_page_;
+  if (first >= records_) return 0;
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(records_per_page_, records_ - first));
+}
+
+const std::unordered_map<std::uint64_t, std::uint64_t>*
+PimStore::functional_dependency(std::size_t attr_a, std::size_t attr_b) const {
+  if (attr_a == attr_b) return nullptr;
+  if (!distinct_.at(attr_a) || !distinct_.at(attr_b)) return nullptr;
+  const auto key = std::make_pair(attr_a, attr_b);
+  const auto it = fd_cache_.find(key);
+  if (it != fd_cache_.end()) {
+    return it->second ? &*it->second : nullptr;
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> map;
+  map.reserve(distinct_[attr_a]->size());
+  const auto& col_a = table_->column(attr_a);
+  const auto& col_b = table_->column(attr_b);
+  for (std::size_t r = 0; r < records_; ++r) {
+    const auto [entry, fresh] = map.try_emplace(col_a[r], col_b[r]);
+    if (!fresh && entry->second != col_b[r]) {
+      fd_cache_.emplace(key, std::nullopt);  // violated: not a dependency
+      return nullptr;
+    }
+  }
+  auto [stored, ignored] = fd_cache_.emplace(key, std::move(map));
+  (void)ignored;
+  return &*stored->second;
+}
+
+const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
+PimStore::co_occurrence(std::size_t attr_a, std::size_t attr_b) const {
+  if (attr_a == attr_b) return nullptr;
+  if (!distinct_.at(attr_a) || !distinct_.at(attr_b)) return nullptr;
+  const auto key = std::make_pair(attr_a, attr_b);
+  const auto it = co_cache_.find(key);
+  if (it != co_cache_.end()) return &it->second;
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> map;
+  map.reserve(distinct_[attr_a]->size());
+  const auto& col_a = table_->column(attr_a);
+  const auto& col_b = table_->column(attr_b);
+  for (std::size_t r = 0; r < records_; ++r) {
+    std::vector<std::uint64_t>& vals = map[col_a[r]];
+    if (std::find(vals.begin(), vals.end(), col_b[r]) == vals.end()) {
+      vals.push_back(col_b[r]);
+    }
+  }
+  for (auto& [a, vals] : map) std::sort(vals.begin(), vals.end());
+  auto [stored, fresh] = co_cache_.emplace(key, std::move(map));
+  (void)fresh;
+  return &stored->second;
+}
+
+std::uint64_t PimStore::read_attr(std::size_t record, std::size_t attr) const {
+  const int part = attr_part_.at(attr);
+  const std::size_t p = record / records_per_page_;
+  const std::uint32_t in_page = static_cast<std::uint32_t>(record % records_per_page_);
+  return module_->read_record_field(module_page_index(part, p), in_page,
+                                    layouts_[part].field(attr));
+}
+
+}  // namespace bbpim::engine

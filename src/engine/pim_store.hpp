@@ -1,0 +1,116 @@
+// PimStore: a relation resident in the PIM module.
+//
+// Loads a (pre-joined) relation into hugepages, one record per crossbar row.
+// Supports the paper's two placements: one-xb (whole record in one crossbar
+// row) and two-xb (vertical partitioning of Section III/V-A: fact attributes
+// in one aligned page set, dimension attributes in another; record i lives
+// at the same crossbar/row coordinate in both parts).
+//
+// Also computes per-attribute distinct-value statistics used by the
+// GROUP-BY planner to enumerate candidate subgroups ("total number of
+// potential subgroups according to query and database details", Table II).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/layout.hpp"
+#include "pim/module.hpp"
+#include "relational/table.hpp"
+
+namespace bbpim::engine {
+
+class PimStore {
+ public:
+  struct Options {
+    bool two_crossbar = false;
+    /// Part assignment for two-crossbar mode; defaults to the SSB rule
+    /// (fact attributes "lo_*" in part 0, dimension attributes in part 1 —
+    /// the paper's worst-case partitioning).
+    std::function<int(const std::string&)> part_of;
+    /// Distinct-value stats are kept only up to this cardinality; higher
+    /// attributes never qualify for pure-PIM group enumeration anyway.
+    std::size_t max_distinct = 4096;
+  };
+
+  PimStore(pim::PimModule& module, const rel::Table& table, Options opt);
+  /// One-crossbar store with default options.
+  PimStore(pim::PimModule& module, const rel::Table& table)
+      : PimStore(module, table, Options()) {}
+
+  pim::PimModule& module() { return *module_; }
+  const pim::PimConfig& module_config() const { return module_->config(); }
+  const rel::Table& table() const { return *table_; }
+
+  int parts() const { return two_crossbar_ ? 2 : 1; }
+  std::size_t record_count() const { return records_; }
+  /// Pages per part (the paper's M counts pages per copy of the records).
+  std::size_t pages_per_part() const { return pages_per_part_; }
+  std::uint32_t records_per_page() const { return records_per_page_; }
+
+  int part_of_attr(std::size_t attr) const { return attr_part_.at(attr); }
+  const RecordLayout& layout(int part) const { return layouts_.at(part); }
+  pim::Field field(std::size_t attr) const {
+    return layouts_.at(attr_part_.at(attr)).field(attr);
+  }
+
+  /// Module page holding page `i` of `part`.
+  pim::Page& page(int part, std::size_t i);
+  std::size_t module_page_index(int part, std::size_t i) const;
+
+  /// Valid records in page i (the last page may be partial).
+  std::uint32_t page_records(std::size_t i) const;
+
+  /// Functional host read of one attribute of one record.
+  std::uint64_t read_attr(std::size_t record, std::size_t attr) const;
+
+  /// Sorted distinct values of an attribute, or nullopt when cardinality
+  /// exceeded Options::max_distinct.
+  const std::optional<std::vector<std::uint64_t>>& distinct_values(
+      std::size_t attr) const {
+    return distinct_.at(attr);
+  }
+
+  /// Value map of the functional dependency attr_a -> attr_b, or nullptr
+  /// when it does not hold (or either side's cardinality is uncapped).
+  /// SSB's hierarchies (brand -> category -> mfgr, city -> nation -> region)
+  /// are what let the planner derive Table II's "total subgroups according
+  /// to query and database details". Computed lazily, cached.
+  const std::unordered_map<std::uint64_t, std::uint64_t>*
+  functional_dependency(std::size_t attr_a, std::size_t attr_b) const;
+
+  /// Sorted attr_b values co-occurring with each attr_a value (the general
+  /// form of the above: d_yearmonth = 'Dec1997' leaves d_year = {1997} even
+  /// though year does not determine yearmonth). nullptr when either side's
+  /// cardinality is uncapped. Computed lazily, cached.
+  const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
+  co_occurrence(std::size_t attr_a, std::size_t attr_b) const;
+
+ private:
+  void load_part(int part);
+
+  pim::PimModule* module_;
+  const rel::Table* table_;
+  bool two_crossbar_ = false;
+  std::size_t records_ = 0;
+  std::uint32_t records_per_page_ = 0;
+  std::size_t pages_per_part_ = 0;
+  std::vector<int> attr_part_;               // attr -> part
+  std::vector<RecordLayout> layouts_;        // per part
+  std::vector<std::size_t> base_page_;       // per part
+  std::vector<std::optional<std::vector<std::uint64_t>>> distinct_;
+  /// (a, b) -> value map when the FD holds, nullopt when checked and absent.
+  mutable std::map<std::pair<std::size_t, std::size_t>,
+                   std::optional<std::unordered_map<std::uint64_t, std::uint64_t>>>
+      fd_cache_;
+  mutable std::map<std::pair<std::size_t, std::size_t>,
+                   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>>
+      co_cache_;
+};
+
+}  // namespace bbpim::engine

@@ -1,0 +1,149 @@
+#include "engine/prejoin.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "engine/filter_compiler.hpp"
+#include "host/pipeline.hpp"
+#include "pim/controller.hpp"
+
+namespace bbpim::engine {
+
+rel::Table prejoin(const rel::Table& fact, std::span<const DimensionSpec> dims,
+                   std::string name) {
+  // Output schema: fact attributes, then each dimension's carried attributes.
+  std::vector<rel::Attribute> attrs = fact.schema().attributes();
+
+  struct DimPlan {
+    const rel::Table* dim;
+    std::size_t fk_idx;                     // in fact
+    std::size_t key_idx;                    // in dim
+    std::vector<std::size_t> carried;       // dim attribute indices
+    std::unordered_map<std::uint64_t, std::size_t> key_to_row;
+  };
+  std::vector<DimPlan> plans;
+
+  for (const DimensionSpec& spec : dims) {
+    if (spec.dim == nullptr) throw std::invalid_argument("prejoin: null dim");
+    DimPlan plan;
+    plan.dim = spec.dim;
+    const auto fk = fact.schema().index_of(spec.fact_fk);
+    if (!fk) throw std::invalid_argument("prejoin: unknown fk " + spec.fact_fk);
+    plan.fk_idx = *fk;
+    const auto key = spec.dim->schema().index_of(spec.dim_key);
+    if (!key) throw std::invalid_argument("prejoin: unknown key " + spec.dim_key);
+    plan.key_idx = *key;
+
+    for (std::size_t a = 0; a < spec.dim->schema().attribute_count(); ++a) {
+      const std::string& aname = spec.dim->schema().attribute(a).name;
+      if (a == plan.key_idx) continue;
+      bool excluded = false;
+      for (const std::string& e : spec.exclude) {
+        if (e == aname) {
+          excluded = true;
+          break;
+        }
+      }
+      if (excluded) continue;
+      plan.carried.push_back(a);
+      attrs.push_back(spec.dim->schema().attribute(a));
+    }
+
+    plan.key_to_row.reserve(spec.dim->row_count());
+    for (std::size_t r = 0; r < spec.dim->row_count(); ++r) {
+      if (!plan.key_to_row.emplace(spec.dim->value(r, plan.key_idx), r).second) {
+        throw std::invalid_argument("prejoin: duplicate dimension key in " +
+                                    spec.dim->name());
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  rel::Table out(rel::Schema(std::move(attrs)), std::move(name));
+  out.reserve(fact.row_count());
+  std::vector<std::uint64_t> row;
+  for (std::size_t r = 0; r < fact.row_count(); ++r) {
+    row.clear();
+    for (std::size_t a = 0; a < fact.schema().attribute_count(); ++a) {
+      row.push_back(fact.value(r, a));
+    }
+    for (const DimPlan& plan : plans) {
+      const auto it = plan.key_to_row.find(fact.value(r, plan.fk_idx));
+      if (it == plan.key_to_row.end()) {
+        throw std::runtime_error("prejoin: dangling foreign key in row " +
+                                 std::to_string(r));
+      }
+      for (const std::size_t a : plan.carried) {
+        row.push_back(plan.dim->value(it->second, a));
+      }
+    }
+    out.append_row(row);
+  }
+  return out;
+}
+
+UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
+                       const std::vector<sql::BoundPredicate>& where,
+                       std::size_t attr, std::uint64_t new_value) {
+  const int part = store.part_of_attr(attr);
+  for (const sql::BoundPredicate& p : where) {
+    if (p.kind != sql::BoundPredicate::Kind::kAlways &&
+        p.kind != sql::BoundPredicate::Kind::kNever &&
+        store.part_of_attr(p.attr) != part) {
+      throw std::invalid_argument(
+          "pim_update: predicates must share the updated attribute's part");
+    }
+  }
+  const RecordLayout& layout = store.layout(part);
+  const pim::Field target = layout.field(attr);
+  const std::uint64_t max_v =
+      target.width >= 64 ? ~0ULL : (1ULL << target.width) - 1;
+  if (new_value > max_v) {
+    throw std::invalid_argument("pim_update: value overflows attribute");
+  }
+
+  // One program: filter -> select bit -> Algorithm 1 MUX. No host reads.
+  pim::ColumnAlloc alloc = layout.make_alloc();
+  CompiledFilter filter = compile_filter(where, layout, alloc);
+  pim::ProgramBuilder pb(alloc);
+  pb.emit_mux_const(target, new_value, filter.result_col);
+  pim::MicroProgram program = filter.program;
+  for (const pim::MicroOp& op : pb.program()) program.push_back(op);
+
+  const pim::PimConfig& cfg = store.module().config();
+  pim::EnergyMeter meter;
+  std::vector<pim::RequestTrace> traces;
+  std::size_t updated = 0;
+  for (std::size_t p = 0; p < store.pages_per_part(); ++p) {
+    pim::Page& page = store.page(part, p);
+    traces.push_back(pim::execute_program(page, program, cfg, &meter));
+    for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+      updated += page.crossbar(x).column(filter.result_col).popcount();
+    }
+  }
+  host::ScheduleParams params;
+  params.threads = hcfg.threads;
+  params.window = hcfg.request_window;
+  params.issue_gap_ns = hcfg.issue_ns;
+  const TimeNs end = host::schedule_requests(traces, params, 0.0, nullptr);
+
+  UpdateStats stats;
+  stats.total_ns = end + hcfg.phase_overhead_ns;
+  stats.energy_j = meter.total();
+  stats.cycles = program.size();
+  stats.updated_records = updated;
+
+  // Host alternative: read the filter bit-vector (one line per page row),
+  // then read-modify-write the record chunk of every match.
+  const double bitvec_lines = static_cast<double>(store.pages_per_part()) *
+                              cfg.crossbar_rows / hcfg.threads;
+  const double rmw_lines = 2.0 * static_cast<double>(updated) / hcfg.threads;
+  stats.host_path_estimate_ns = bitvec_lines * hcfg.line_stream_ns +
+                                rmw_lines * hcfg.line_random_ns +
+                                2 * hcfg.phase_overhead_ns;
+
+  alloc.release(filter.result_col);
+  return stats;
+}
+
+}  // namespace bbpim::engine

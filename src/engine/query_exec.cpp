@@ -1,0 +1,993 @@
+#include "engine/query_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "engine/filter_compiler.hpp"
+#include "host/pipeline.hpp"
+#include "host/read_set.hpp"
+#include "pim/agg_circuit.hpp"
+#include "pim/controller.hpp"
+#include "pimdb/bitserial.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+using GroupKey = std::vector<std::uint64_t>;
+
+struct KeyHash {
+  std::size_t operator()(const GroupKey& k) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const std::uint64_t v : k) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// One aggregation pass (product/linearity decomposition; see header).
+struct AggPass {
+  bool use_select_as_value = false;  ///< value = the select bit column
+  pim::Field value{};                ///< on part 0
+  std::int64_t scale = 1;            ///< host-side multiplier for pass total
+  /// AND this attribute bit column into the select (mul decomposition).
+  std::optional<std::uint16_t> mask_attr_col;
+  pim::AggOp op = pim::AggOp::kSum;
+  bool carries_count = false;        ///< circuit also reports the row count
+};
+
+constexpr std::size_t kCandidateCap = 65536;
+constexpr std::uint16_t kMulDecompositionMaxBits = 12;
+
+}  // namespace
+
+// ===========================================================================
+// Execution context: one query run.
+// ===========================================================================
+
+namespace {
+
+class Execution {
+ public:
+  Execution(EngineKind kind, PimStore& store, const host::HostConfig& hcfg,
+            const LatencyModels& models, const sql::BoundQuery& q,
+            const ExecOptions& opts)
+      : kind_(kind),
+        store_(store),
+        cfg_(store.module().config()),
+        hcfg_(hcfg),
+        models_(models),
+        q_(q),
+        opts_(opts) {
+    for (int part = 0; part < store_.parts(); ++part) {
+      allocs_.push_back(store_.layout(part).make_alloc());
+    }
+  }
+
+  QueryOutput run();
+
+ private:
+  // --- small helpers --------------------------------------------------------
+  std::size_t pages() const { return store_.pages_per_part(); }
+  std::uint32_t rows() const { return cfg_.crossbar_rows; }
+  pim::ColumnAlloc& alloc(int part) { return allocs_[part]; }
+
+  void advance_clock(TimeNs phase_end, TimeNs* slot) {
+    const TimeNs dur = phase_end - clock_ + hcfg_.phase_overhead_ns;
+    *slot += dur;
+    clock_ += dur;
+  }
+
+  /// Schedules one phase of per-page requests and advances the clock.
+  void schedule_phase(const std::vector<pim::RequestTrace>& traces,
+                      std::uint32_t window, TimeNs issue_gap, TimeNs* slot) {
+    host::ScheduleParams params;
+    params.threads = hcfg_.threads;
+    params.window = window;
+    params.issue_gap_ns = issue_gap;
+    const TimeNs end =
+        host::schedule_requests(traces, params, clock_, &tracker_);
+    stats_.pim_requests += traces.size();
+    advance_clock(end, slot);
+  }
+
+  /// Runs a micro-program on every page of selected parts as one phase.
+  void logic_phase(const std::vector<std::pair<int, const pim::MicroProgram*>>&
+                       part_programs,
+                   TimeNs* slot) {
+    std::vector<pim::RequestTrace> traces;
+    for (const auto& [part, prog] : part_programs) {
+      if (prog == nullptr || prog->empty()) continue;
+      for (std::size_t p = 0; p < pages(); ++p) {
+        traces.push_back(
+            pim::execute_program(store_.page(part, p), *prog, cfg_, &meter_));
+      }
+    }
+    if (traces.empty()) return;
+    schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
+  }
+
+  /// Reads one bit column of every page of a part (host streaming reads).
+  std::vector<BitVec> read_column_phase(int part, std::uint16_t col,
+                                        TimeNs* slot) {
+    std::vector<BitVec> out(pages());
+    std::vector<pim::RequestTrace> traces;
+    traces.reserve(pages());
+    for (std::size_t p = 0; p < pages(); ++p) {
+      traces.push_back(pim::read_bit_column(store_.page(part, p), col,
+                                            hcfg_.line_stream_ns, cfg_,
+                                            &meter_, &out[p]));
+    }
+    // Plain loads: the issuing thread is occupied for the whole stream.
+    schedule_phase(traces, /*window=*/1, /*issue_gap=*/0.0, slot);
+    return out;
+  }
+
+  /// Writes per-page bit vectors into a column of a part (two-xb transfer).
+  void write_column_phase(int part, std::uint16_t col,
+                          const std::vector<BitVec>& bits, TimeNs* slot) {
+    std::vector<pim::RequestTrace> traces;
+    traces.reserve(pages());
+    for (std::size_t p = 0; p < pages(); ++p) {
+      traces.push_back(pim::write_bit_column(store_.page(part, p), col,
+                                             bits[p], hcfg_.line_stream_ns,
+                                             cfg_, &meter_));
+    }
+    schedule_phase(traces, /*window=*/1, /*issue_gap=*/0.0, slot);
+  }
+
+  /// Charges a host read of `total_lines` result lines (streaming).
+  void line_read_phase(std::size_t total_lines, TimeNs* slot) {
+    const double per_thread =
+        std::ceil(static_cast<double>(total_lines) / hcfg_.threads);
+    meter_.add(pim::EnergyCat::kRead,
+               static_cast<double>(total_lines) * cfg_.line_bytes() * 8 *
+                   cfg_.read_energy_pj_per_bit * units::kJoulePerPj);
+    advance_clock(clock_ + per_thread * hcfg_.line_stream_ns, slot);
+  }
+
+  // --- phases ---------------------------------------------------------------
+  void filter_phase();
+  void build_agg_passes();
+  void no_groupby_aggregate();
+  void sample_phase();
+  void build_candidates();
+  void plan_phase();
+  void pim_gb_phase();
+  void host_gb_phase();
+  void finalize_phase();
+
+  /// Aggregates one pass over `select_col`; returns the combined value
+  /// across crossbars and pages (SUM adds, MIN/MAX fold); `out_count`
+  /// receives the circuit count when the pass carries it.
+  std::uint64_t run_agg_pass(const AggPass& pass, std::uint16_t select_col,
+                             std::uint64_t* out_count, TimeNs* slot);
+
+  /// Aggregates one subgroup (all passes); returns {agg value, count}.
+  std::pair<std::int64_t, std::uint64_t> aggregate_group(const GroupKey& key,
+                                                         bool update_mask);
+
+  std::vector<std::uint64_t> group_attr_key(std::size_t record) const {
+    std::vector<std::uint64_t> key;
+    key.reserve(q_.group_by.size());
+    for (const std::size_t a : q_.group_by) {
+      key.push_back(store_.read_attr(record, a));
+    }
+    return key;
+  }
+
+  /// (part, chunk) pairs the host touches per record for the given attrs.
+  std::set<std::pair<int, std::uint32_t>> chunk_set(
+      const std::vector<std::size_t>& attrs) const {
+    std::set<std::pair<int, std::uint32_t>> chunks;
+    for (const std::size_t a : attrs) {
+      const int part = store_.part_of_attr(a);
+      const pim::Field f = store_.field(a);
+      const std::uint32_t first = f.offset / cfg_.read_bits;
+      const std::uint32_t last = (f.offset + f.width - 1) / cfg_.read_bits;
+      for (std::uint32_t c = first; c <= last; ++c) chunks.insert({part, c});
+    }
+    return chunks;
+  }
+
+  std::vector<std::size_t> host_read_attrs() const {
+    std::vector<std::size_t> attrs(q_.group_by);
+    if (!(q_.agg_func == sql::AggFunc::kCount)) {
+      attrs.push_back(q_.agg_expr.a);
+      if (q_.agg_expr.kind != sql::Expr::Kind::kColumn) {
+        attrs.push_back(q_.agg_expr.b);
+      }
+    }
+    return attrs;
+  }
+
+  // --- members ---------------------------------------------------------------
+  EngineKind kind_;
+  PimStore& store_;
+  const pim::PimConfig& cfg_;
+  const host::HostConfig& hcfg_;
+  const LatencyModels& models_;
+  const sql::BoundQuery& q_;
+  const ExecOptions& opts_;
+
+  std::vector<pim::ColumnAlloc> allocs_;
+  pim::EnergyMeter meter_;
+  pim::PowerTracker tracker_;
+  TimeNs clock_ = 0;
+  QueryStats stats_;
+
+  std::uint16_t r_col_ = 0;          ///< filter result on part 0
+  std::uint16_t mask_col_ = 0;       ///< OR of pim-gb subgroup selects
+  bool mask_valid_ = false;
+  std::optional<pim::Field> transfer_chunk_;  ///< part-0 chunk for transfers
+
+  std::vector<AggPass> passes_;
+  pim::Field result_field_{};
+  pim::Field count_field_{};
+  std::uint32_t n_chunks_ = 1;  ///< model parameter n
+  std::uint32_t s_chunks_ = 2;  ///< model parameter s
+
+  std::vector<GroupCandidate> candidates_;
+  bool candidates_complete_ = true;
+  double selectivity_est_ = 0;
+  std::size_t chosen_k_ = 0;
+
+  std::unordered_map<GroupKey, std::pair<std::int64_t, bool>, KeyHash>
+      results_;  ///< key -> (agg, from_pim)
+  std::vector<ResultRow> rows_;
+};
+
+// ---------------------------------------------------------------------------
+// Phase 1: filter
+// ---------------------------------------------------------------------------
+
+void Execution::filter_phase() {
+  std::vector<CompiledFilter> compiled;
+  for (int part = 0; part < store_.parts(); ++part) {
+    compiled.push_back(
+        compile_filter(q_.filters, store_.layout(part), alloc(part)));
+  }
+  {
+    std::vector<std::pair<int, const pim::MicroProgram*>> progs;
+    for (int part = 0; part < store_.parts(); ++part) {
+      progs.emplace_back(part, &compiled[part].program);
+    }
+    logic_phase(progs, &stats_.phases.filter);
+  }
+
+  if (store_.parts() == 1) {
+    r_col_ = compiled[0].result_col;
+  } else {
+    // two-xb: ship part 1's bits through the host and AND them into part 0.
+    transfer_chunk_ = alloc(0).alloc_aligned_chunk(cfg_.read_bits);
+    const std::vector<BitVec> bits =
+        read_column_phase(1, compiled[1].result_col, &stats_.phases.transfer);
+    write_column_phase(0, transfer_chunk_->offset, bits,
+                       &stats_.phases.transfer);
+    pim::ProgramBuilder pb(alloc(0));
+    const std::uint16_t combined =
+        pb.emit_and(compiled[0].result_col, transfer_chunk_->offset);
+    const pim::MicroProgram prog = pb.take();
+    logic_phase({{0, &prog}}, &stats_.phases.transfer);
+    alloc(0).release(compiled[0].result_col);
+    alloc(1).release(compiled[1].result_col);
+    r_col_ = combined;
+  }
+
+  // Free introspection: exact selected-record count for the stats tables.
+  std::size_t selected = 0;
+  for (std::size_t p = 0; p < pages(); ++p) {
+    pim::Page& page = store_.page(0, p);
+    for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+      selected += page.crossbar(x).column(r_col_).popcount();
+    }
+  }
+  stats_.selected_records = selected;
+  stats_.selectivity =
+      static_cast<double>(selected) / static_cast<double>(store_.record_count());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation pass construction
+// ---------------------------------------------------------------------------
+
+void Execution::build_agg_passes() {
+  using sql::AggFunc;
+  using sql::Expr;
+
+  const rel::Schema& schema = store_.table().schema();
+  auto part0_field = [&](std::size_t attr) {
+    if (store_.part_of_attr(attr) != 0) {
+      throw std::runtime_error(
+          "aggregated attribute '" + schema.attribute(attr).name +
+          "' must reside in the fact partition");
+    }
+    return store_.field(attr);
+  };
+
+  std::uint32_t max_value_bits = 1;
+  if (q_.agg_func == AggFunc::kCount) {
+    AggPass p;
+    p.use_select_as_value = true;
+    p.carries_count = false;  // the pass value IS the count
+    passes_.push_back(p);
+  } else if (q_.agg_expr.kind == Expr::Kind::kColumn) {
+    AggPass p;
+    p.value = part0_field(q_.agg_expr.a);
+    p.op = q_.agg_func == AggFunc::kMin   ? pim::AggOp::kMin
+           : q_.agg_func == AggFunc::kMax ? pim::AggOp::kMax
+                                          : pim::AggOp::kSum;
+    p.carries_count = true;
+    passes_.push_back(p);
+    max_value_bits = p.value.width;
+  } else if (q_.agg_expr.kind == Expr::Kind::kSub ||
+             q_.agg_expr.kind == Expr::Kind::kAdd) {
+    if (q_.agg_func != AggFunc::kSum) {
+      throw std::runtime_error("MIN/MAX over expressions is not supported");
+    }
+    // SUM(a +- b) = SUM(a) +- SUM(b).
+    AggPass pa;
+    pa.value = part0_field(q_.agg_expr.a);
+    pa.carries_count = true;
+    passes_.push_back(pa);
+    AggPass pb;
+    pb.value = part0_field(q_.agg_expr.b);
+    pb.scale = q_.agg_expr.kind == Expr::Kind::kSub ? -1 : 1;
+    passes_.push_back(pb);
+    max_value_bits = std::max(pa.value.width, pb.value.width);
+  } else {  // kMul
+    if (q_.agg_func != AggFunc::kSum) {
+      throw std::runtime_error("MIN/MAX over expressions is not supported");
+    }
+    pim::Field fa = part0_field(q_.agg_expr.a);
+    pim::Field fb = part0_field(q_.agg_expr.b);
+    if (fb.width > fa.width) std::swap(fa, fb);  // fb is the narrow one
+    if (fb.width > kMulDecompositionMaxBits) {
+      throw std::runtime_error(
+          "SUM of a product needs one operand of <= 12 bits");
+    }
+    // SUM(a*b) = sum_i 2^i * SUM(a | b_i AND select).
+    for (std::uint16_t i = 0; i < fb.width; ++i) {
+      AggPass p;
+      p.value = fa;
+      p.scale = static_cast<std::int64_t>(1) << i;
+      p.mask_attr_col = static_cast<std::uint16_t>(fb.offset + i);
+      passes_.push_back(p);
+    }
+    // All passes are masked; a dedicated pass recovers the subgroup count.
+    AggPass pc;
+    pc.use_select_as_value = true;
+    pc.scale = 0;
+    passes_.push_back(pc);
+    max_value_bits = fa.width;
+  }
+
+  // Result slots: sums over 1024 rows add log2(rows) bits.
+  const std::uint32_t result_bits = std::min<std::uint32_t>(
+      64, max_value_bits + rel::bits_for_max(rows() - 1));
+  result_field_ = alloc(0).alloc_field(static_cast<std::uint16_t>(result_bits));
+  count_field_ =
+      alloc(0).alloc_field(static_cast<std::uint16_t>(rel::bits_for_max(rows())));
+
+  for (const AggPass& p : passes_) {
+    const std::uint32_t n =
+        p.use_select_as_value ? 1 : pim::chunk_span(p.value, cfg_);
+    n_chunks_ = std::max(n_chunks_, n);
+  }
+  s_chunks_ = static_cast<std::uint32_t>(chunk_set(host_read_attrs()).size());
+}
+
+// ---------------------------------------------------------------------------
+// One aggregation pass over a select column
+// ---------------------------------------------------------------------------
+
+std::uint64_t Execution::run_agg_pass(const AggPass& pass,
+                                      std::uint16_t select_col,
+                                      std::uint64_t* out_count, TimeNs* slot) {
+  const bool want_count = pass.carries_count && out_count != nullptr;
+  pim::AggRequest req;
+  req.select_col = select_col;
+  req.value = pass.use_select_as_value ? pim::Field{select_col, 1} : pass.value;
+  req.op = pass.op;
+  req.result = result_field_;
+  req.result_row = 0;
+  req.with_count = want_count;
+  req.count = count_field_;
+
+  if (kind_ == EngineKind::kPimdb) {
+    // Pure bulk-bitwise reduction: identical result, very different price.
+    // Each tree level is a separate macro request per page (the host must
+    // fence between levels), so the reduction costs one scheduled phase per
+    // level — the issue-cost multiplier behind PIMDB's Table II column.
+    std::vector<std::uint64_t> phases =
+        pimdb::bitserial_agg_phases(req.value.width, rows(), req.op);
+    if (want_count) {
+      const std::vector<std::uint64_t> count_phases =
+          pimdb::bitserial_agg_phases(1, rows(), pim::AggOp::kSum);
+      phases.insert(phases.end(), count_phases.begin(), count_phases.end());
+    }
+    std::uint64_t total_cycles = 0;
+    for (const std::uint64_t c : phases) total_cycles += c;
+
+    for (std::size_t p = 0; p < pages(); ++p) {
+      pim::Page& page = store_.page(0, p);
+      for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+        pim::Crossbar& xb = page.crossbar(x);
+        std::uint64_t count = 0;
+        const std::uint64_t v =
+            pim::compute_aggregate(xb, req.value, select_col, req.op, &count);
+        const std::uint64_t rmask =
+            req.result.width >= 64 ? ~0ULL : (1ULL << req.result.width) - 1;
+        xb.write_row_bits(0, req.result.offset, req.result.width, v & rmask);
+        if (want_count) {
+          xb.write_row_bits(0, req.count.offset, req.count.width, count);
+        }
+        xb.add_uniform_wear(total_cycles);
+      }
+    }
+    for (const std::uint64_t cycles : phases) {
+      std::vector<pim::RequestTrace> traces;
+      traces.reserve(pages());
+      for (std::size_t p = 0; p < pages(); ++p) {
+        pim::RequestTrace t = pim::logic_trace_cost(
+            cfg_, cycles, store_.page(0, p).crossbar_count());
+        meter_.add(pim::EnergyCat::kLogic, t.energy_j);
+        traces.push_back(t);
+      }
+      schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
+    }
+  } else {
+    std::vector<pim::RequestTrace> traces;
+    traces.reserve(pages());
+    for (std::size_t p = 0; p < pages(); ++p) {
+      traces.push_back(
+          pim::execute_aggregate(store_.page(0, p), req, cfg_, &meter_));
+    }
+    schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
+  }
+
+  // Host fetches each crossbar's result (and count) line(s).
+  std::uint32_t lines_per_page = pim::chunk_span(result_field_, cfg_);
+  if (want_count) lines_per_page += pim::chunk_span(count_field_, cfg_);
+  line_read_phase(pages() * lines_per_page, slot);
+
+  const std::uint64_t value_max =
+      req.value.width >= 64 ? ~0ULL : (1ULL << req.value.width) - 1;
+  std::uint64_t acc = req.op == pim::AggOp::kMin ? value_max : 0;
+  std::uint64_t count = 0;
+  for (std::size_t p = 0; p < pages(); ++p) {
+    pim::Page& page = store_.page(0, p);
+    for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+      const std::uint64_t v = page.crossbar(x).read_row_bits(
+          0, result_field_.offset, result_field_.width);
+      switch (req.op) {
+        case pim::AggOp::kSum: acc += v; break;
+        case pim::AggOp::kMin: acc = std::min(acc, v); break;
+        case pim::AggOp::kMax: acc = std::max(acc, v); break;
+      }
+      if (want_count) {
+        count += page.crossbar(x).read_row_bits(0, count_field_.offset,
+                                                count_field_.width);
+      }
+    }
+  }
+  if (want_count) *out_count = count;
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Subgroup aggregation (pim-gb)
+// ---------------------------------------------------------------------------
+
+std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
+    const GroupKey& key, bool update_mask) {
+  TimeNs* slot = &stats_.phases.pim_gb;
+
+  // Part-1 group match (two-xb): compute, then transfer to part 0.
+  bool have_transfer = false;
+  if (store_.parts() == 2) {
+    CompiledFilter match1 =
+        compile_group_match(q_.group_by, key, store_.layout(1), alloc(1));
+    if (match1.predicate_count > 0) {
+      logic_phase({{1, &match1.program}}, slot);
+      const std::vector<BitVec> bits =
+          read_column_phase(1, match1.result_col, slot);
+      if (!transfer_chunk_) {
+        transfer_chunk_ = alloc(0).alloc_aligned_chunk(cfg_.read_bits);
+      }
+      write_column_phase(0, transfer_chunk_->offset, bits, slot);
+      have_transfer = true;
+    }
+    alloc(1).release(match1.result_col);
+  }
+
+  // Part-0 program: group match AND filter result (AND transferred bits),
+  // plus mask bookkeeping and per-pass masked selects, in one request.
+  pim::ProgramBuilder pb(alloc(0));
+  std::uint16_t acc = 0;
+  bool have_acc = false;
+  for (std::size_t i = 0; i < q_.group_by.size(); ++i) {
+    if (!store_.layout(0).has(q_.group_by[i])) continue;
+    const std::uint16_t eq =
+        pb.emit_eq_const(store_.layout(0).field(q_.group_by[i]), key[i]);
+    if (!have_acc) {
+      acc = eq;
+      have_acc = true;
+    } else {
+      const std::uint16_t next = pb.emit_and(acc, eq);
+      pb.release(acc);
+      pb.release(eq);
+      acc = next;
+    }
+  }
+  std::uint16_t sg;
+  if (have_acc) {
+    sg = pb.emit_and(acc, r_col_);
+    pb.release(acc);
+  } else {
+    sg = pb.emit_copy(r_col_);
+  }
+  if (have_transfer) {
+    const std::uint16_t next = pb.emit_and(sg, transfer_chunk_->offset);
+    pb.release(sg);
+    sg = next;
+  }
+  if (update_mask) {
+    if (!mask_valid_) {
+      mask_col_ = alloc(0).alloc();
+      pb.emit_copy_into(sg, mask_col_);
+      mask_valid_ = true;
+    } else {
+      const std::uint16_t m = pb.emit_or(mask_col_, sg);
+      pb.emit_copy_into(m, mask_col_);
+      pb.release(m);
+    }
+  }
+  // Per-pass masked selects (mul decomposition).
+  std::vector<std::uint16_t> pass_select(passes_.size(), sg);
+  std::vector<std::uint16_t> owned_selects;
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    if (passes_[i].mask_attr_col) {
+      pass_select[i] = pb.emit_and(sg, *passes_[i].mask_attr_col);
+      owned_selects.push_back(pass_select[i]);
+    }
+  }
+  {
+    const pim::MicroProgram prog = pb.take();
+    logic_phase({{0, &prog}}, slot);
+  }
+
+  // Aggregation passes.
+  std::int64_t total = 0;
+  std::uint64_t count = 0;
+  bool have_minmax = false;
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const AggPass& pass = passes_[i];
+    std::uint64_t pass_count = 0;
+    const std::uint64_t v = run_agg_pass(
+        pass, pass_select[i], pass.carries_count ? &pass_count : nullptr, slot);
+    if (pass.carries_count) count = pass_count;
+    if (q_.agg_func == sql::AggFunc::kCount) {
+      total = static_cast<std::int64_t>(v);
+      count = v;
+    } else if (pass.op == pim::AggOp::kSum) {
+      if (pass.use_select_as_value && pass.scale == 0) {
+        count = v;  // dedicated count pass
+      } else {
+        total += pass.scale * static_cast<std::int64_t>(v);
+      }
+    } else {
+      total = static_cast<std::int64_t>(v);  // single MIN/MAX pass
+      have_minmax = true;
+    }
+  }
+  if (have_minmax && count == 0) total = 0;
+
+  for (const std::uint16_t c : owned_selects) alloc(0).release(c);
+  alloc(0).release(sg);
+  return {total, count};
+}
+
+// ---------------------------------------------------------------------------
+// Phase 2: sampling (Section IV)
+// ---------------------------------------------------------------------------
+
+void Execution::sample_phase() {
+  TimeNs* slot = &stats_.phases.sample;
+
+  // Read the filter bits of one page (32 K records), single thread.
+  BitVec bits;
+  {
+    pim::RequestTrace t = pim::read_bit_column(
+        store_.page(0, 0), r_col_, hcfg_.line_stream_ns, cfg_, &meter_, &bits);
+    advance_clock(clock_ + t.duration_ns, slot);
+    ++stats_.pim_requests;
+  }
+
+  // Read the group attributes of every sampled survivor.
+  host::ReadSet rs(1);
+  const auto chunks = chunk_set(q_.group_by);
+  std::unordered_map<GroupKey, std::uint64_t, KeyHash> counts;
+  std::size_t hits = 0;
+  const std::uint32_t valid = store_.page_records(0);
+  for (std::size_t i = bits.find_next(0); i < bits.size();
+       i = bits.find_next(i + 1)) {
+    if (i >= valid) break;
+    ++hits;
+    const pim::Page::RecordCoord c = store_.page(0, 0).locate(
+        static_cast<std::uint32_t>(i));
+    for (const auto& [part, chunk] : chunks) {
+      rs.touch(0, c.row,
+               static_cast<std::uint32_t>(part) * cfg_.chunks_per_row() + chunk);
+    }
+    ++counts[group_attr_key(i)];
+  }
+  // Single-threaded sample walk (shared across threads, Section V-A).
+  const TimeNs read_ns =
+      static_cast<double>(rs.unique_lines()) * hcfg_.line_random_ns +
+      static_cast<double>(hits) * hcfg_.cpu_ns_per_sample;
+  meter_.add(pim::EnergyCat::kRead,
+             static_cast<double>(rs.unique_lines()) * cfg_.line_bytes() * 8 *
+                 cfg_.read_energy_pj_per_bit * units::kJoulePerPj);
+  advance_clock(clock_ + read_ns, slot);
+
+  stats_.sampled_subgroups = counts.size();
+  selectivity_est_ = valid > 0 ? static_cast<double>(hits) / valid : 0.0;
+
+  for (auto& [key, count] : counts) {
+    GroupCandidate c;
+    c.key = key;
+    c.sampled = true;
+    c.sample_count = count;
+    c.est_mass = hits > 0 ? static_cast<double>(count) / hits : 0.0;
+    candidates_.push_back(std::move(c));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate enumeration ("total subgroups", Table II)
+// ---------------------------------------------------------------------------
+
+void Execution::build_candidates() {
+  // Candidate values per group attribute: distinct values consistent with
+  // the query's own predicates on that attribute.
+  std::vector<std::vector<std::uint64_t>> domains;
+  candidates_complete_ = true;
+  double product = 1.0;
+  for (const std::size_t attr : q_.group_by) {
+    const auto& dv = store_.distinct_values(attr);
+    if (!dv) {
+      candidates_complete_ = false;
+      break;
+    }
+    std::vector<std::uint64_t> vals;
+    for (const std::uint64_t v : *dv) {
+      bool ok = true;
+      for (const sql::BoundPredicate& p : q_.filters) {
+        if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+        if (p.attr == attr) {
+          if (!p.matches(v)) {
+            ok = false;
+            break;
+          }
+          continue;
+        }
+        // Predicates on co-occurring attributes constrain the candidate
+        // domain too (e.g. p_category = 'MFGR#12' leaves only that
+        // category's brands; d_yearmonth = 'Dec1997' leaves d_year = 1997 —
+        // Table II's "subgroups according to query and database details").
+        const auto* co = store_.co_occurrence(attr, p.attr);
+        if (co != nullptr) {
+          const auto dep = co->find(v);
+          if (dep != co->end()) {
+            bool any = false;
+            for (const std::uint64_t w : dep->second) {
+              if (p.matches(w)) {
+                any = true;
+                break;
+              }
+            }
+            if (!any) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+      if (ok) vals.push_back(v);
+    }
+    product *= static_cast<double>(vals.size());
+    domains.push_back(std::move(vals));
+  }
+
+  if (candidates_complete_ && product <= static_cast<double>(kCandidateCap)) {
+    stats_.total_subgroups = static_cast<std::size_t>(product);
+    // Enumerate the cartesian product; merge with sampled candidates.
+    std::unordered_map<GroupKey, std::size_t, KeyHash> sampled_index;
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      sampled_index.emplace(candidates_[i].key, i);
+    }
+    GroupKey key(domains.size(), 0);
+    std::vector<std::size_t> idx(domains.size(), 0);
+    const std::size_t total = stats_.total_subgroups;
+    for (std::size_t count = 0; count < total; ++count) {
+      for (std::size_t d = 0; d < domains.size(); ++d) key[d] = domains[d][idx[d]];
+      if (!sampled_index.contains(key)) {
+        GroupCandidate c;
+        c.key = key;
+        candidates_.push_back(std::move(c));
+      }
+      // Odometer increment.
+      for (std::size_t d = domains.size(); d-- > 0;) {
+        if (++idx[d] < domains[d].size()) break;
+        idx[d] = 0;
+      }
+    }
+    // Sampled keys outside the enumerated domain (shouldn't happen: sampled
+    // records satisfied the filters) are kept — harmless.
+  } else {
+    candidates_complete_ = false;
+    stats_.total_subgroups =
+        product > static_cast<double>(kCandidateCap) || !candidates_complete_
+            ? static_cast<std::size_t>(
+                  std::min(product, 1e18))
+            : candidates_.size();
+  }
+  sort_candidates(candidates_);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 3: planning (Equation 3)
+// ---------------------------------------------------------------------------
+
+void Execution::plan_phase() {
+  if (opts_.force_k) {
+    chosen_k_ = std::min(*opts_.force_k, candidates_.size());
+    return;
+  }
+  GroupByPlanInput in;
+  in.pages = static_cast<double>(pages());
+  in.n = n_chunks_;
+  in.s = s_chunks_;
+  in.selectivity_est = selectivity_est_;
+  in.candidates = candidates_;
+  in.candidates_complete = candidates_complete_;
+  const GroupByPlan plan = choose_k(models_, in);
+  chosen_k_ = plan.k;
+  advance_clock(clock_ + hcfg_.plan_overhead_ns, &stats_.phases.plan);
+}
+
+// ---------------------------------------------------------------------------
+// Phase 4: pim-gb
+// ---------------------------------------------------------------------------
+
+void Execution::pim_gb_phase() {
+  const bool host_side_needed =
+      !opts_.skip_host_gb &&
+      !(candidates_complete_ && chosen_k_ == candidates_.size());
+  for (std::size_t g = 0; g < chosen_k_; ++g) {
+    const auto [value, count] =
+        aggregate_group(candidates_[g].key, /*update_mask=*/host_side_needed);
+    if (count > 0) {
+      results_[candidates_[g].key] = {value, true};
+    }
+  }
+  stats_.pim_subgroups = chosen_k_;
+}
+
+// ---------------------------------------------------------------------------
+// Phase 5: host-gb
+// ---------------------------------------------------------------------------
+
+void Execution::host_gb_phase() {
+  TimeNs* slot = &stats_.phases.host_gb;
+
+  // Residual selection R' = R AND NOT mask (mask = union of pim-gb groups).
+  std::uint16_t residual = r_col_;
+  bool residual_owned = false;
+  if (mask_valid_) {
+    pim::ProgramBuilder pb(alloc(0));
+    residual = pb.emit_andnot(r_col_, mask_col_);
+    residual_owned = true;
+    const pim::MicroProgram prog = pb.take();
+    logic_phase({{0, &prog}}, slot);
+  }
+
+  const std::vector<BitVec> bits = read_column_phase(0, residual, slot);
+
+  const auto chunks = chunk_set(host_read_attrs());
+  host::ReadSet rs(pages());
+  std::size_t processed = 0;
+  for (std::size_t p = 0; p < pages(); ++p) {
+    const std::uint32_t valid = store_.page_records(p);
+    for (std::size_t i = bits[p].find_next(0); i < bits[p].size();
+         i = bits[p].find_next(i + 1)) {
+      if (i >= valid) break;
+      ++processed;
+      const std::size_t record = p * store_.records_per_page() + i;
+      const pim::Page::RecordCoord c =
+          store_.page(0, p).locate(static_cast<std::uint32_t>(i));
+      for (const auto& [part, chunk] : chunks) {
+        rs.touch(static_cast<std::uint32_t>(p), c.row,
+                 static_cast<std::uint32_t>(part) * cfg_.chunks_per_row() +
+                     chunk);
+      }
+      // Classify + aggregate on the CPU.
+      GroupKey key = group_attr_key(record);
+      std::int64_t v = 1;
+      if (q_.agg_func != sql::AggFunc::kCount) {
+        const std::uint64_t va = store_.read_attr(record, q_.agg_expr.a);
+        const std::uint64_t vb = q_.agg_expr.kind == sql::Expr::Kind::kColumn
+                                     ? 0
+                                     : store_.read_attr(record, q_.agg_expr.b);
+        v = static_cast<std::int64_t>(q_.agg_expr.eval(va, vb));
+      }
+      auto [it, fresh] = results_.try_emplace(std::move(key),
+                                              std::pair<std::int64_t, bool>{
+                                                  0, false});
+      if (q_.agg_func == sql::AggFunc::kMin) {
+        it->second.first = fresh ? v : std::min(it->second.first, v);
+      } else if (q_.agg_func == sql::AggFunc::kMax) {
+        it->second.first = fresh ? v : std::max(it->second.first, v);
+      } else {
+        it->second.first += v;
+      }
+    }
+  }
+  stats_.host_lines = rs.unique_lines();
+  meter_.add(pim::EnergyCat::kRead,
+             static_cast<double>(rs.unique_lines()) * cfg_.line_bytes() * 8 *
+                 cfg_.read_energy_pj_per_bit * units::kJoulePerPj);
+  const TimeNs cpu = static_cast<double>(processed) * hcfg_.cpu_ns_per_record /
+                     hcfg_.threads;
+  advance_clock(clock_ + rs.phase_time_ns(hcfg_) + cpu, slot);
+
+  if (residual_owned) alloc(0).release(residual);
+}
+
+// ---------------------------------------------------------------------------
+// No-GROUP-BY fast path (Q1.x): a single aggregation over R
+// ---------------------------------------------------------------------------
+
+void Execution::no_groupby_aggregate() {
+  TimeNs* slot = &stats_.phases.pim_gb;
+
+  // Per-pass masked selects.
+  std::vector<std::uint16_t> pass_select(passes_.size(), r_col_);
+  std::vector<std::uint16_t> owned;
+  {
+    pim::ProgramBuilder pb(alloc(0));
+    bool any = false;
+    for (std::size_t i = 0; i < passes_.size(); ++i) {
+      if (passes_[i].mask_attr_col) {
+        pass_select[i] = pb.emit_and(r_col_, *passes_[i].mask_attr_col);
+        owned.push_back(pass_select[i]);
+        any = true;
+      }
+    }
+    if (any) {
+      const pim::MicroProgram prog = pb.take();
+      logic_phase({{0, &prog}}, slot);
+    }
+  }
+
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const AggPass& pass = passes_[i];
+    const std::uint64_t v = run_agg_pass(pass, pass_select[i], nullptr, slot);
+    if (q_.agg_func == sql::AggFunc::kCount) {
+      total = static_cast<std::int64_t>(v);
+    } else if (pass.op == pim::AggOp::kSum) {
+      if (!(pass.use_select_as_value && pass.scale == 0)) {
+        total += pass.scale * static_cast<std::int64_t>(v);
+      }
+    } else {
+      total = stats_.selected_records > 0 ? static_cast<std::int64_t>(v) : 0;
+    }
+  }
+  rows_.push_back(ResultRow{{}, total});
+}
+
+// ---------------------------------------------------------------------------
+// Phase 6: finalize
+// ---------------------------------------------------------------------------
+
+void Execution::finalize_phase() {
+  for (auto& [key, value] : results_) {
+    rows_.push_back(ResultRow{key, value.first});
+  }
+  std::sort(rows_.begin(), rows_.end(), [&](const ResultRow& a,
+                                            const ResultRow& b) {
+    for (const sql::BoundOrderItem& o : q_.order_by) {
+      if (o.is_agg) {
+        if (a.agg != b.agg) return o.desc ? a.agg > b.agg : a.agg < b.agg;
+      } else {
+        const std::uint64_t va = a.group[o.group_pos];
+        const std::uint64_t vb = b.group[o.group_pos];
+        if (va != vb) return o.desc ? va > vb : va < vb;
+      }
+    }
+    return a.group < b.group;  // deterministic tiebreak
+  });
+  advance_clock(clock_ + static_cast<double>(rows_.size()) * 50.0,
+                &stats_.phases.finalize);
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+QueryOutput Execution::run() {
+  store_.module().reset_wear();
+
+  build_agg_passes();
+  filter_phase();
+
+  if (!q_.has_group_by()) {
+    no_groupby_aggregate();
+    stats_.total_subgroups = 1;  // Table II: Q1.x aggregate once, in PIM
+    stats_.pim_subgroups = 1;
+  } else {
+    sample_phase();
+    build_candidates();
+    plan_phase();
+    pim_gb_phase();
+    const bool pure_pim =
+        candidates_complete_ && chosen_k_ == candidates_.size();
+    if (!pure_pim && !opts_.skip_host_gb) host_gb_phase();
+    finalize_phase();
+  }
+
+  // Export the planner inputs for offline Equation-3 re-evaluation.
+  stats_.n_chunks = n_chunks_;
+  stats_.s_chunks = s_chunks_;
+  stats_.selectivity_estimate = selectivity_est_;
+  stats_.candidates_complete = candidates_complete_;
+  stats_.candidate_masses.reserve(candidates_.size());
+  for (const GroupCandidate& c : candidates_) {
+    stats_.candidate_masses.push_back(c.est_mass);
+  }
+
+  stats_.total_ns = clock_;
+  stats_.energy_j = meter_.total();
+  stats_.energy_logic_j = meter_.of(pim::EnergyCat::kLogic);
+  stats_.energy_read_j = meter_.of(pim::EnergyCat::kRead);
+  stats_.energy_write_j = meter_.of(pim::EnergyCat::kWrite);
+  stats_.energy_controller_j = meter_.of(pim::EnergyCat::kController);
+  stats_.energy_agg_circuit_j = meter_.of(pim::EnergyCat::kAggCircuit);
+  stats_.peak_chip_w = tracker_.peak_module_w() / cfg_.chips;
+  stats_.wear_row_writes = store_.module().max_row_writes();
+
+  QueryOutput out;
+  out.rows = std::move(rows_);
+  out.stats = stats_;
+  return out;
+}
+
+}  // namespace
+
+// ===========================================================================
+// PimQueryEngine
+// ===========================================================================
+
+PimQueryEngine::PimQueryEngine(EngineKind kind, PimStore& store,
+                               host::HostConfig hcfg, LatencyModels models)
+    : kind_(kind), store_(&store), hcfg_(hcfg), models_(std::move(models)) {
+  if (kind == EngineKind::kTwoXb && store.parts() != 2) {
+    throw std::invalid_argument("two-xb engine needs a two-part store");
+  }
+  if (kind != EngineKind::kTwoXb && store.parts() != 1) {
+    throw std::invalid_argument("one-xb/pimdb engines need a one-part store");
+  }
+}
+
+QueryOutput PimQueryEngine::execute(const sql::BoundQuery& q,
+                                    const ExecOptions& opts) {
+  Execution exec(kind_, *store_, hcfg_, models_, q, opts);
+  return exec.run();
+}
+
+}  // namespace bbpim::engine

@@ -1,0 +1,127 @@
+// The PIM OLAP query executor — the paper's system in one class.
+//
+// Executes a bound SELECT against a PIM-resident pre-joined relation in the
+// paper's phase structure:
+//
+//   1. filter      — WHERE conjunction as bulk-bitwise programs on every
+//                    page (both parts for two-xb, then a host transfer
+//                    combines part results);
+//   2. sample      — read one 2 MB page's filter bits + group attributes,
+//                    estimate subgroup sizes (Section IV);
+//   3. plan        — Equation 3 picks k, the number of subgroups for pim-gb;
+//   4. pim-gb      — per subgroup: equality match AND filter result, then
+//                    aggregation (circuit for one-xb/two-xb, bit-serial
+//                    bulk-bitwise for the PIMDB baseline), host reads one
+//                    result line set per page;
+//   5. host-gb     — read the residual filter bit-vector and s chunks of
+//                    each remaining record (unique-line accounting captures
+//                    the 32x read amplification), hash-aggregate on CPU;
+//   6. finalize    — merge, ORDER BY.
+//
+// SUM over a product decomposes into per-multiplier-bit masked aggregation
+// passes (SUM(a*b) = sum_i 2^i * SUM(a | b_i AND R)); SUM over +- decomposes
+// by linearity. Every phase advances a simulated clock and accounts energy,
+// peak power, and cell wear; all results are exact and are checked against a
+// scalar reference executor in the tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "engine/groupby.hpp"
+#include "engine/latency_model.hpp"
+#include "engine/pim_store.hpp"
+#include "host/config.hpp"
+#include "pim/trackers.hpp"
+#include "sql/logical_plan.hpp"
+
+namespace bbpim::engine {
+
+struct QueryPhaseBreakdown {
+  TimeNs filter = 0;    ///< bulk-bitwise WHERE evaluation (+ arithmetic)
+  TimeNs transfer = 0;  ///< two-xb inter-part bit-column transfers
+  TimeNs sample = 0;    ///< GROUP-BY sampling reads
+  TimeNs plan = 0;      ///< model evaluation / k selection
+  TimeNs pim_gb = 0;    ///< per-subgroup PIM aggregation
+  TimeNs host_gb = 0;   ///< residual host aggregation (incl. bit-vector read)
+  TimeNs finalize = 0;  ///< merge + sort
+
+  TimeNs total() const {
+    return filter + transfer + sample + plan + pim_gb + host_gb + finalize;
+  }
+};
+
+struct QueryStats {
+  TimeNs total_ns = 0;
+  QueryPhaseBreakdown phases;
+
+  EnergyJ energy_j = 0;          ///< PIM module energy (Fig. 7)
+  EnergyJ energy_logic_j = 0;
+  EnergyJ energy_read_j = 0;
+  EnergyJ energy_write_j = 0;
+  EnergyJ energy_controller_j = 0;
+  EnergyJ energy_agg_circuit_j = 0;
+  PowerW peak_chip_w = 0;        ///< peak power of one PIM chip (Fig. 8)
+  std::uint64_t wear_row_writes = 0;  ///< worst per-row writes (Fig. 9 input)
+
+  double selectivity = 0;
+  std::size_t selected_records = 0;
+  std::size_t total_subgroups = 0;    ///< kmax (Table II "total subgroups")
+  std::size_t sampled_subgroups = 0;  ///< Table II "subgroups in sample"
+  std::size_t pim_subgroups = 0;      ///< chosen k (Table II "PIM agg")
+  std::size_t host_lines = 0;         ///< unique record lines read by host-gb
+  std::size_t pim_requests = 0;
+
+  // Planner inputs (exported so benches can re-evaluate Equation 3 at other
+  // relation sizes, e.g. the paper's M = 1831 pages at SF = 10).
+  std::uint32_t n_chunks = 1;
+  std::uint32_t s_chunks = 2;
+  double selectivity_estimate = 0;
+  bool candidates_complete = false;
+  /// Estimated subgroup masses, descending (sampled groups then zeros).
+  std::vector<double> candidate_masses;
+};
+
+struct ResultRow {
+  std::vector<std::uint64_t> group;  ///< group-attribute codes
+  std::int64_t agg = 0;
+};
+
+struct QueryOutput {
+  std::vector<ResultRow> rows;
+  QueryStats stats;
+};
+
+struct ExecOptions {
+  /// Bypass the planner and aggregate exactly this many subgroups with PIM
+  /// (clamped to the candidate count). Used by the model fitter and the
+  /// ablation benches.
+  std::optional<std::size_t> force_k;
+  /// Skip the host-gb phase (measurement of pure pim-gb cost).
+  bool skip_host_gb = false;
+};
+
+class PimQueryEngine {
+ public:
+  /// `models` may be empty when every execution passes force_k.
+  PimQueryEngine(EngineKind kind, PimStore& store, host::HostConfig hcfg,
+                 LatencyModels models = {});
+
+  QueryOutput execute(const sql::BoundQuery& q, const ExecOptions& opts = {});
+
+  EngineKind kind() const { return kind_; }
+  const LatencyModels& models() const { return models_; }
+  void set_models(LatencyModels m) { models_ = std::move(m); }
+  PimStore& store() { return *store_; }
+  const host::HostConfig& host_config() const { return hcfg_; }
+
+ private:
+  EngineKind kind_;
+  PimStore* store_;
+  host::HostConfig hcfg_;
+  LatencyModels models_;
+};
+
+}  // namespace bbpim::engine

@@ -1,0 +1,49 @@
+#include "host/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace bbpim::host {
+
+TimeNs schedule_requests(std::span<const pim::RequestTrace> traces,
+                         const ScheduleParams& params, TimeNs phase_start_ns,
+                         pim::PowerTracker* tracker) {
+  if (params.threads == 0) {
+    throw std::invalid_argument("schedule_requests: zero threads");
+  }
+  if (traces.empty()) return phase_start_ns;
+
+  const std::size_t n = traces.size();
+  const std::size_t per_thread = (n + params.threads - 1) / params.threads;
+  TimeNs phase_end = phase_start_ns;
+
+  for (std::uint32_t t = 0; t < params.threads; ++t) {
+    const std::size_t begin = static_cast<std::size_t>(t) * per_thread;
+    if (begin >= n) break;
+    const std::size_t end = std::min(n, begin + per_thread);
+
+    // Completion times of this thread's last `window` requests.
+    std::vector<TimeNs> completions;
+    completions.reserve(end - begin);
+    TimeNs prev_issue = phase_start_ns;
+    for (std::size_t i = begin; i < end; ++i) {
+      TimeNs issue = (i == begin) ? phase_start_ns
+                                  : prev_issue + params.issue_gap_ns;
+      const std::size_t in_flight_idx = i - begin;
+      if (params.window != 0 && in_flight_idx >= params.window) {
+        issue = std::max(issue, completions[in_flight_idx - params.window]);
+      }
+      const TimeNs done = issue + traces[i].duration_ns;
+      completions.push_back(done);
+      prev_issue = issue;
+      if (tracker != nullptr && traces[i].avg_power_w > 0) {
+        tracker->add_interval(issue, done, traces[i].avg_power_w);
+      }
+      phase_end = std::max(phase_end, done);
+    }
+  }
+  return phase_end;
+}
+
+}  // namespace bbpim::host

@@ -1,0 +1,35 @@
+// Deterministic scheduler for PIM macro requests.
+//
+// The paper's query execution partitions the relation's pages into four
+// contiguous groups, one per thread (Section V-A). Each thread issues its
+// pages' requests in order; a request occupies the target page's controller
+// for its duration, and at most `window` requests per thread are in flight
+// (power-bounded pipelining). This little queueing model is what makes
+// phase latency linear in the page count M — exactly the behaviour the
+// paper's empirical models fit in Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/units.hpp"
+#include "pim/controller.hpp"
+#include "pim/trackers.hpp"
+
+namespace bbpim::host {
+
+struct ScheduleParams {
+  std::uint32_t threads = 4;
+  std::uint32_t window = 0;     ///< max outstanding requests/thread; 0 = unbounded
+  TimeNs issue_gap_ns = 800.0;  ///< host cost to issue one request
+};
+
+/// Schedules one phase of per-page requests (traces[i] targets page i of the
+/// phase, pages split contiguously across threads). Power intervals are
+/// recorded against `tracker` (if non-null) offset by `phase_start_ns`.
+/// Returns the phase end time (== phase_start_ns when no requests).
+TimeNs schedule_requests(std::span<const pim::RequestTrace> traces,
+                         const ScheduleParams& params, TimeNs phase_start_ns,
+                         pim::PowerTracker* tracker);
+
+}  // namespace bbpim::host

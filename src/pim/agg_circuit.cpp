@@ -1,0 +1,84 @@
+#include "pim/agg_circuit.hpp"
+
+#include <stdexcept>
+
+namespace bbpim::pim {
+
+std::uint32_t chunk_span(const Field& f, const PimConfig& cfg) {
+  const std::uint32_t first = f.offset / cfg.read_bits;
+  const std::uint32_t last = (f.offset + f.width - 1) / cfg.read_bits;
+  return last - first + 1;
+}
+
+std::uint64_t compute_aggregate(const Crossbar& xb, const Field& value_field,
+                                std::uint16_t select_col, AggOp op,
+                                std::uint64_t* selected_count) {
+  if (value_field.width == 0 || value_field.width > 64) {
+    throw std::invalid_argument("compute_aggregate: bad value width");
+  }
+  const std::uint64_t value_max =
+      value_field.width >= 64 ? ~0ULL : (1ULL << value_field.width) - 1;
+  std::uint64_t acc = (op == AggOp::kMin) ? value_max : 0;
+  std::uint64_t count = 0;
+  for (std::uint32_t row = 0; row < xb.rows(); ++row) {
+    if (!xb.bit(row, select_col)) continue;
+    ++count;
+    const std::uint64_t v =
+        xb.read_row_bits(row, value_field.offset, value_field.width);
+    switch (op) {
+      case AggOp::kSum: acc += v; break;
+      case AggOp::kMin: acc = v < acc ? v : acc; break;
+      case AggOp::kMax: acc = v > acc ? v : acc; break;
+    }
+  }
+  if (selected_count != nullptr) *selected_count = count;
+  return acc;
+}
+
+std::uint64_t run_agg_circuit(Crossbar& xb, const Field& value_field,
+                              std::uint16_t select_col, AggOp op,
+                              const Field& result_field,
+                              std::uint32_t result_row, const PimConfig& cfg,
+                              AggCircuitCost* cost, const Field* count_field) {
+  if (result_field.width == 0 || result_field.width > 64) {
+    throw std::invalid_argument("run_agg_circuit: bad result width");
+  }
+  std::uint64_t count = 0;
+  const std::uint64_t acc =
+      compute_aggregate(xb, value_field, select_col, op, &count);
+
+  // Result write-back through the modified write logic (counts wear).
+  const std::uint64_t result_mask =
+      result_field.width >= 64 ? ~0ULL : (1ULL << result_field.width) - 1;
+  xb.write_row_bits(result_row, result_field.offset, result_field.width,
+                    acc & result_mask);
+  std::uint32_t result_chunks = chunk_span(result_field, cfg);
+  std::uint64_t write_bits = result_field.width;
+  if (count_field != nullptr) {
+    const std::uint64_t count_mask =
+        count_field->width >= 64 ? ~0ULL : (1ULL << count_field->width) - 1;
+    xb.write_row_bits(result_row, count_field->offset, count_field->width,
+                      count & count_mask);
+    result_chunks += chunk_span(*count_field, cfg);
+    write_bits += count_field->width;
+  }
+
+  if (cost != nullptr) {
+    const std::uint32_t n = chunk_span(value_field, cfg);
+    cost->value_reads = xb.rows() * n;
+    // The select column streams alongside: 1024 bits / 16-bit reads.
+    cost->select_reads = (xb.rows() + cfg.read_bits - 1) / cfg.read_bits;
+    cost->result_writes = result_chunks;
+    cost->duration_ns =
+        (cost->value_reads + cost->select_reads) * cfg.read_cycle_ns +
+        cost->result_writes * cfg.write_cycle_ns;
+    cost->energy_j =
+        (cost->value_reads + cost->select_reads) * cfg.read_energy_j() +
+        cfg.write_energy_j(write_bits) +
+        cfg.agg_circuit_power_uw * units::kWattPerUw *
+            units::ns_to_sec(cost->duration_ns);
+  }
+  return acc;
+}
+
+}  // namespace bbpim::pim

@@ -1,0 +1,63 @@
+// The per-crossbar aggregation circuit (Fig. 3 of the paper).
+//
+// A small CMOS ALU sits on the crossbar read path. During an aggregation
+// PIM request it serially reads the aggregated attribute of every row
+// (16 bits per read cycle), masks rows whose select bit is 0, accumulates
+// SUM/MIN/MAX, and finally writes the result back into a designated field of
+// the crossbar through the modified write logic. The host then fetches the
+// per-crossbar results with ordinary memory reads.
+//
+// This is what differentiates the paper's system ("one-xb"/"two-xb") from
+// the PIMDB baseline, which performs aggregation purely with bulk-bitwise
+// logic (see src/pimdb).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "pim/config.hpp"
+#include "pim/crossbar.hpp"
+#include "pim/microcode.hpp"
+
+namespace bbpim::pim {
+
+/// Aggregation operations supported by the circuit's ALU (Section IV).
+enum class AggOp : std::uint8_t { kSum, kMin, kMax };
+
+/// Cost of one crossbar's aggregation pass (all crossbars of a page run in
+/// parallel, each with its own circuit, so page cost equals crossbar cost).
+struct AggCircuitCost {
+  TimeNs duration_ns = 0;
+  EnergyJ energy_j = 0;
+  std::uint32_t value_reads = 0;   ///< 16-bit reads of the aggregated field
+  std::uint32_t select_reads = 0;  ///< 16-bit reads of the select column
+  std::uint32_t result_writes = 0; ///< 16-bit result write cycles
+};
+
+/// Number of 16-bit read cycles needed to stream one row's copy of `f`
+/// (the paper's `n`: fields are chunk-aligned by the layout, but we compute
+/// the true chunk span so misaligned fields are charged honestly).
+std::uint32_t chunk_span(const Field& f, const PimConfig& cfg);
+
+/// Functional aggregation semantics (exactly what the serial ALU computes):
+/// rows whose `select_col` bit is 0 are masked out; SUM/MAX over an empty
+/// selection return 0, MIN returns the field's max value. `selected_count`
+/// (optional) receives the number of selected rows.
+std::uint64_t compute_aggregate(const Crossbar& xb, const Field& value_field,
+                                std::uint16_t select_col, AggOp op,
+                                std::uint64_t* selected_count);
+
+/// Runs the aggregation circuit on one crossbar.
+///
+/// The result is written to `result_field` at `result_row` (width <= 64) and
+/// also returned. When `count_field` is non-null the circuit also writes the
+/// selected-row count there (it streams the select column anyway; the count
+/// is one extra result chunk), letting the host distinguish empty subgroups.
+std::uint64_t run_agg_circuit(Crossbar& xb, const Field& value_field,
+                              std::uint16_t select_col, AggOp op,
+                              const Field& result_field,
+                              std::uint32_t result_row, const PimConfig& cfg,
+                              AggCircuitCost* cost,
+                              const Field* count_field = nullptr);
+
+}  // namespace bbpim::pim

@@ -1,0 +1,49 @@
+#include "pim/area_model.hpp"
+
+namespace bbpim::pim {
+
+AreaBreakdown compute_area(const PimConfig& cfg, const AreaParams& params) {
+  const double um2_to_mm2 = 1e-6;
+  const std::uint64_t chip_bytes = cfg.capacity_bytes / cfg.chips;
+  const std::uint64_t crossbars_per_chip =
+      chip_bytes / (cfg.crossbar_bits() / 8);
+  const std::uint64_t banks_per_chip =
+      crossbars_per_chip / params.crossbars_per_bank;
+  // Every page has a dedicated controller on every chip (Section II-B), so a
+  // chip carries one controller per module page.
+  const std::uint64_t controllers_per_chip = cfg.pages_in_module();
+
+  const AreaMm2 crossbars =
+      static_cast<double>(crossbars_per_chip) * params.crossbar_um2 * um2_to_mm2;
+  const AreaMm2 periph = static_cast<double>(crossbars_per_chip) *
+                         params.crossbar_periph_um2 * um2_to_mm2;
+  const AreaMm2 agg = params.include_agg_circuit
+                          ? static_cast<double>(crossbars_per_chip) *
+                                params.agg_circuit_um2 * um2_to_mm2
+                          : 0.0;
+  const AreaMm2 bank = static_cast<double>(banks_per_chip) *
+                       params.bank_periph_um2 * um2_to_mm2;
+  const AreaMm2 ctrl = static_cast<double>(controllers_per_chip) *
+                       params.controller_um2 * um2_to_mm2;
+
+  const AreaMm2 active = crossbars + periph + agg + bank + ctrl;
+  const AreaMm2 wires =
+      params.wire_fraction / (1.0 - params.wire_fraction) * active;
+  const AreaMm2 total = active + wires;
+
+  AreaBreakdown out;
+  out.chip_total_mm2 = total;
+  out.module_total_mm2 = total * cfg.chips;
+  auto push = [&](const std::string& name, AreaMm2 a) {
+    out.components.push_back({name, a, total > 0 ? 100.0 * a / total : 0.0});
+  };
+  push("Crossbar peripherals", periph);
+  push("Crossbars", crossbars);
+  push("Bank peripherals", bank);
+  push("Aggregation circuits", agg);
+  push("PIM controllers", ctrl);
+  push("Wires", wires);
+  return out;
+}
+
+}  // namespace bbpim::pim

@@ -1,0 +1,47 @@
+// NVSim-style analytic chip area model (Fig. 5 of the paper).
+//
+// The paper synthesized the aggregation circuit (TSMC 28 nm, Synopsys DC +
+// Cadence Innovus) and extended NVSim with PIM controllers and per-crossbar
+// aggregation circuits, arriving at a 346 mm^2 chip whose breakdown Fig. 5
+// reports. We encode those synthesized unit areas as defaults of a
+// parametric model: component counts derive from the module geometry, so
+// changing chips/crossbar size/ALU presence re-derives the budget.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "pim/config.hpp"
+
+namespace bbpim::pim {
+
+/// Unit areas (um^2 per instance) calibrated to the paper's synthesis.
+struct AreaParams {
+  double crossbar_um2 = 1016.0;        ///< one 1024x512 RRAM mat
+  double crossbar_periph_um2 = 2133.0; ///< decoders/SAs/drivers per mat
+  double agg_circuit_um2 = 734.0;      ///< synthesized SUM/MIN/MAX ALU
+  double bank_periph_um2 = 63600.0;    ///< per bank (shared I/O, buffers)
+  double controller_um2 = 1445.0;      ///< one PIM page controller
+  double wire_fraction = 0.0076;       ///< global wiring share of total
+  std::uint32_t crossbars_per_bank = 64;
+  bool include_agg_circuit = true;     ///< false models the PIMDB chip
+};
+
+/// One line of the Fig. 5 breakdown.
+struct AreaComponent {
+  std::string name;
+  AreaMm2 area_mm2 = 0;
+  double percent = 0;
+};
+
+struct AreaBreakdown {
+  std::vector<AreaComponent> components;
+  AreaMm2 chip_total_mm2 = 0;
+  AreaMm2 module_total_mm2 = 0;  ///< chip total x chips
+};
+
+/// Computes the per-chip breakdown for a module configuration.
+AreaBreakdown compute_area(const PimConfig& cfg, const AreaParams& params = {});
+
+}  // namespace bbpim::pim

@@ -1,0 +1,141 @@
+#include "pim/controller.hpp"
+
+#include <stdexcept>
+
+namespace bbpim::pim {
+namespace {
+
+/// Energy drawn by the page's controllers (one per chip) over a duration.
+EnergyJ controller_energy(const PimConfig& cfg, TimeNs duration_ns) {
+  return cfg.controller_power_uw * units::kWattPerUw * cfg.chips *
+         units::ns_to_sec(duration_ns);
+}
+
+}  // namespace
+
+RequestTrace logic_trace_cost(const PimConfig& cfg, std::uint64_t cycles,
+                              std::uint32_t crossbars) {
+  RequestTrace t;
+  t.cls = RequestClass::kLogic;
+  t.duration_ns = static_cast<double>(cycles) * cfg.logic_cycle_ns;
+  t.energy_j = static_cast<double>(cycles) * crossbars *
+                   cfg.logic_cycle_energy_j() +
+               controller_energy(cfg, t.duration_ns);
+  t.finalize_power();
+  return t;
+}
+
+RequestTrace execute_program(Page& page, const MicroProgram& prog,
+                             const PimConfig& cfg, EnergyMeter* meter) {
+  for (std::uint32_t i = 0; i < page.crossbar_count(); ++i) {
+    page.crossbar(i).execute(prog);
+  }
+  RequestTrace t =
+      logic_trace_cost(cfg, prog.size(), page.crossbar_count());
+  if (meter != nullptr) {
+    const EnergyJ ctrl = controller_energy(cfg, t.duration_ns);
+    meter->add(EnergyCat::kLogic, t.energy_j - ctrl);
+    meter->add(EnergyCat::kController, ctrl);
+  }
+  return t;
+}
+
+RequestTrace execute_aggregate(Page& page, const AggRequest& req,
+                               const PimConfig& cfg, EnergyMeter* meter) {
+  RequestTrace t;
+  t.cls = RequestClass::kAggregate;
+  EnergyJ agg_energy = 0;
+  AggCircuitCost cost;
+  for (std::uint32_t i = 0; i < page.crossbar_count(); ++i) {
+    run_agg_circuit(page.crossbar(i), req.value, req.select_col, req.op,
+                    req.result, req.result_row, cfg, &cost,
+                    req.with_count ? &req.count : nullptr);
+    agg_energy += cost.energy_j;
+  }
+  // All circuits run in parallel; page duration is one crossbar's duration.
+  t.duration_ns = cost.duration_ns;
+  const EnergyJ ctrl = controller_energy(cfg, t.duration_ns);
+  if (meter != nullptr) {
+    meter->add(EnergyCat::kAggCircuit, agg_energy);
+    meter->add(EnergyCat::kController, ctrl);
+  }
+  t.energy_j = agg_energy + ctrl;
+  t.finalize_power();
+  return t;
+}
+
+RequestTrace read_bit_column(Page& page, std::uint16_t col, TimeNs line_ns,
+                             const PimConfig& cfg, EnergyMeter* meter,
+                             BitVec* out) {
+  const std::uint32_t rows = page.crossbar(0).rows();
+  const std::uint32_t reads_per_xbar = (rows + cfg.read_bits - 1) / cfg.read_bits;
+
+  if (out != nullptr) {
+    *out = BitVec(page.records());
+    for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+      const BitVec colbits = page.crossbar(x).column(col);
+      for (std::uint32_t r = 0; r < rows; ++r) {
+        if (colbits.get(r)) out->set(static_cast<std::size_t>(x) * rows + r, true);
+      }
+    }
+  }
+
+  RequestTrace t;
+  t.cls = RequestClass::kColumnRead;
+  // One 64 B line carries the 16-bit chunk holding the column's bit from
+  // each of the 32 crossbars of one row: reading a bit column costs one
+  // line per page row (the paper's "filter result read" cost). The internal
+  // 16-bit chunk reads overlap with the line stream.
+  const std::uint32_t lines = rows;
+  t.duration_ns = static_cast<double>(lines) * line_ns;
+  const EnergyJ read_e = static_cast<double>(page.crossbar_count()) * rows *
+                         cfg.read_energy_j();
+  (void)reads_per_xbar;
+  const EnergyJ ctrl = controller_energy(cfg, t.duration_ns);
+  if (meter != nullptr) {
+    meter->add(EnergyCat::kRead, read_e);
+    meter->add(EnergyCat::kController, ctrl);
+  }
+  t.energy_j = read_e + ctrl;
+  t.finalize_power();
+  return t;
+}
+
+RequestTrace write_bit_column(Page& page, std::uint16_t col,
+                              const BitVec& bits, TimeNs line_ns,
+                              const PimConfig& cfg, EnergyMeter* meter) {
+  const std::uint32_t rows = page.crossbar(0).rows();
+  if (bits.size() != page.records()) {
+    throw std::invalid_argument("write_bit_column: size mismatch");
+  }
+  for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+    BitVec colbits(rows);
+    for (std::uint32_t r = 0; r < rows; ++r) {
+      if (bits.get(static_cast<std::size_t>(x) * rows + r)) colbits.set(r, true);
+    }
+    page.crossbar(x).write_column(col, colbits);
+  }
+
+  RequestTrace t;
+  t.cls = RequestClass::kColumnWrite;
+  // Host writes arrive one line per row; each line rewrites the full 16-bit
+  // chunk containing the target bit in every crossbar (write granularity),
+  // which both the energy and the wear account for.
+  for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+    page.crossbar(x).add_uniform_wear(cfg.read_bits - 1);  // +1 in write_column
+  }
+  t.duration_ns = static_cast<double>(rows) * line_ns + cfg.write_cycle_ns;
+  const EnergyJ write_e = static_cast<double>(page.crossbar_count()) *
+                          cfg.write_energy_j(static_cast<std::uint64_t>(rows) *
+                                             cfg.read_bits);
+  const EnergyJ ctrl = controller_energy(cfg, t.duration_ns);
+  if (meter != nullptr) {
+    meter->add(EnergyCat::kWrite, write_e);
+    meter->add(EnergyCat::kController, ctrl);
+  }
+  t.energy_j = write_e + ctrl;
+  t.finalize_power();
+  return t;
+}
+
+}  // namespace bbpim::pim

@@ -1,0 +1,130 @@
+#include "pim/crossbar.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace bbpim::pim {
+
+Crossbar::Crossbar(std::uint32_t rows, std::uint32_t cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_col_((rows + kWordBits - 1) / kWordBits),
+      words_(static_cast<std::size_t>(cols) * words_per_col_, 0) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("Crossbar: zero dimension");
+  }
+  if (rows % kWordBits != 0) {
+    throw std::invalid_argument("Crossbar: rows must be a multiple of 64");
+  }
+}
+
+void Crossbar::execute(const MicroOp& op) {
+  assert(op.out < cols_);
+  std::uint64_t* out = column_words(op.out);
+  switch (op.kind) {
+    case MicroOpKind::kInit0:
+      std::fill(out, out + words_per_col_, 0ULL);
+      break;
+    case MicroOpKind::kInit1:
+      std::fill(out, out + words_per_col_, ~0ULL);
+      break;
+    case MicroOpKind::kNot: {
+      assert(op.a < cols_);
+      const std::uint64_t* a = column_words(op.a);
+      for (std::uint32_t w = 0; w < words_per_col_; ++w) out[w] = ~a[w];
+      break;
+    }
+    case MicroOpKind::kNor: {
+      assert(op.a < cols_ && op.b < cols_);
+      const std::uint64_t* a = column_words(op.a);
+      const std::uint64_t* b = column_words(op.b);
+      for (std::uint32_t w = 0; w < words_per_col_; ++w) out[w] = ~(a[w] | b[w]);
+      break;
+    }
+  }
+  ++uniform_row_writes_;
+}
+
+void Crossbar::execute(const MicroProgram& prog) {
+  for (const MicroOp& op : prog) execute(op);
+}
+
+std::uint64_t Crossbar::read_row_bits(std::uint32_t row, std::uint32_t offset,
+                                      std::uint32_t width) const {
+  if (width == 0 || width > 64 || offset + width > cols_ || row >= rows_) {
+    throw std::out_of_range("Crossbar::read_row_bits");
+  }
+  const std::uint32_t word = row / kWordBits;
+  const std::uint32_t bit = row % kWordBits;
+  std::uint64_t v = 0;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    const std::uint64_t* col = column_words(offset + i);
+    v |= ((col[word] >> bit) & 1ULL) << i;
+  }
+  return v;
+}
+
+void Crossbar::write_row_bits(std::uint32_t row, std::uint32_t offset,
+                              std::uint32_t width, std::uint64_t value) {
+  if (width == 0 || width > 64 || offset + width > cols_ || row >= rows_) {
+    throw std::out_of_range("Crossbar::write_row_bits");
+  }
+  const std::uint32_t word = row / kWordBits;
+  const std::uint32_t bit = row % kWordBits;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    std::uint64_t* col = column_words(offset + i);
+    const std::uint64_t mask = 1ULL << bit;
+    if ((value >> i) & 1ULL)
+      col[word] |= mask;
+    else
+      col[word] &= ~mask;
+  }
+  if (extra_row_writes_.empty()) extra_row_writes_.resize(rows_, 0);
+  extra_row_writes_[row] += width;
+}
+
+BitVec Crossbar::column(std::uint32_t col) const {
+  if (col >= cols_) throw std::out_of_range("Crossbar::column");
+  BitVec bv(rows_);
+  const std::uint64_t* src = column_words(col);
+  std::copy(src, src + words_per_col_, bv.words().begin());
+  return bv;
+}
+
+void Crossbar::write_column(std::uint32_t col, const BitVec& bits) {
+  if (col >= cols_) throw std::out_of_range("Crossbar::write_column");
+  if (bits.size() != rows_) {
+    throw std::invalid_argument("Crossbar::write_column: size mismatch");
+  }
+  std::uint64_t* dst = column_words(col);
+  std::copy(bits.words().begin(), bits.words().end(), dst);
+  ++uniform_row_writes_;
+}
+
+bool Crossbar::bit(std::uint32_t row, std::uint32_t col) const {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("Crossbar::bit");
+  return (column_words(col)[row / kWordBits] >> (row % kWordBits)) & 1ULL;
+}
+
+void Crossbar::set_bit(std::uint32_t row, std::uint32_t col, bool v) {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("Crossbar::set_bit");
+  std::uint64_t* w = column_words(col) + row / kWordBits;
+  const std::uint64_t mask = 1ULL << (row % kWordBits);
+  if (v)
+    *w |= mask;
+  else
+    *w &= ~mask;
+}
+
+std::uint64_t Crossbar::max_extra_row_writes() const {
+  if (extra_row_writes_.empty()) return 0;
+  return *std::max_element(extra_row_writes_.begin(), extra_row_writes_.end());
+}
+
+void Crossbar::reset_wear() {
+  uniform_row_writes_ = 0;
+  extra_row_writes_.clear();
+}
+
+}  // namespace bbpim::pim

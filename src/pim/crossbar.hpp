@@ -1,0 +1,90 @@
+// Functional model of one memristive crossbar array.
+//
+// The crossbar stores real bits (column-major, 64-bit packed) and executes
+// bulk-bitwise micro-ops exactly: a NOR micro-op really NORs two 1024-bit
+// columns. Query answers produced by the simulator are therefore exact and
+// are checked against a scalar reference in the tests. Cost (time, energy,
+// wear) is accounted one level up, by the PIM controller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "pim/microop.hpp"
+
+namespace bbpim::pim {
+
+/// A rows x cols bit matrix with column-parallel logic.
+class Crossbar {
+ public:
+  Crossbar(std::uint32_t rows, std::uint32_t cols);
+
+  std::uint32_t rows() const { return rows_; }
+  std::uint32_t cols() const { return cols_; }
+
+  /// Executes one micro-op across all rows. Bumps the uniform wear counter
+  /// (every micro-op writes its output column: one cell per row).
+  void execute(const MicroOp& op);
+
+  /// Executes a whole program.
+  void execute(const MicroProgram& prog);
+
+  /// Reads `width` bits (<= 64) of one row starting at bit `offset`.
+  std::uint64_t read_row_bits(std::uint32_t row, std::uint32_t offset,
+                              std::uint32_t width) const;
+
+  /// Writes `width` bits (<= 64) of one row; bumps per-row wear.
+  void write_row_bits(std::uint32_t row, std::uint32_t offset,
+                      std::uint32_t width, std::uint64_t value);
+
+  /// Snapshot of a full column as a BitVec of `rows()` bits.
+  BitVec column(std::uint32_t col) const;
+
+  /// Overwrites a full column (used by the CONCEPT-style packed column write
+  /// path when the host pushes a bit-vector into the PIM module). Counts one
+  /// write per row (uniform wear).
+  void write_column(std::uint32_t col, const BitVec& bits);
+
+  /// Single-bit accessors (test/diagnostic use).
+  bool bit(std::uint32_t row, std::uint32_t col) const;
+  void set_bit(std::uint32_t row, std::uint32_t col, bool v);
+
+  // --- Wear accounting ------------------------------------------------------
+  /// Writes applied uniformly to every row (one per executed micro-op).
+  std::uint64_t uniform_row_writes() const { return uniform_row_writes_; }
+  /// Largest per-row extra write count (row writes from host/agg results).
+  std::uint64_t max_extra_row_writes() const;
+  /// Worst-case writes experienced by any single row of this crossbar.
+  std::uint64_t max_row_writes() const {
+    return uniform_row_writes_ + max_extra_row_writes();
+  }
+  /// Zeroes wear counters (used when measuring a single query).
+  void reset_wear();
+
+  /// Adds extra uniform per-row writes (chunk-granular host writes rewrite
+  /// neighbouring cells of the target bit).
+  void add_uniform_wear(std::uint64_t writes_per_row) {
+    uniform_row_writes_ += writes_per_row;
+  }
+
+ private:
+  static constexpr std::uint32_t kWordBits = 64;
+
+  std::uint64_t* column_words(std::uint32_t col) {
+    return words_.data() + static_cast<std::size_t>(col) * words_per_col_;
+  }
+  const std::uint64_t* column_words(std::uint32_t col) const {
+    return words_.data() + static_cast<std::size_t>(col) * words_per_col_;
+  }
+
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  std::uint32_t words_per_col_;
+  std::vector<std::uint64_t> words_;  // column-major
+
+  std::uint64_t uniform_row_writes_ = 0;
+  std::vector<std::uint32_t> extra_row_writes_;  // lazily sized to rows_
+};
+
+}  // namespace bbpim::pim

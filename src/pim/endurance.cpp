@@ -1,0 +1,25 @@
+#include "pim/endurance.hpp"
+
+#include <stdexcept>
+
+namespace bbpim::pim {
+
+EnduranceReport endurance_report(std::uint64_t max_row_writes,
+                                 TimeNs query_ns, const PimConfig& cfg,
+                                 double horizon_years, double budget_writes) {
+  if (query_ns <= 0) {
+    throw std::invalid_argument("endurance_report: non-positive latency");
+  }
+  EnduranceReport r;
+  r.writes_per_cell_per_query =
+      static_cast<double>(max_row_writes) / cfg.crossbar_cols;
+  r.queries_per_second = units::kNsPerSec / query_ns;
+  const double per_year = r.writes_per_cell_per_query * r.queries_per_second *
+                          units::kSecondsPerYear;
+  r.writes_over_horizon = per_year * horizon_years;
+  r.lifetime_years = per_year > 0 ? budget_writes / per_year : 1e300;
+  r.within_budget = r.writes_over_horizon <= budget_writes;
+  return r;
+}
+
+}  // namespace bbpim::pim

@@ -1,0 +1,39 @@
+// Endurance / lifetime modeling (Fig. 9 and the lifetime headline).
+//
+// Memristive cells wear out with writes; every MAGIC cycle writes its
+// output column (one cell per row), so compute itself consumes lifetime.
+// Following the paper: wear-leveling distributes a row's writes uniformly
+// over its cells, so the per-cell write rate is the worst row's writes per
+// query divided by the row width, times the query rate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "pim/config.hpp"
+
+namespace bbpim::pim {
+
+/// Published RRAM endurance: ~1e12 writes per cell [22].
+inline constexpr double kRramEnduranceWrites = 1e12;
+
+struct EnduranceReport {
+  /// Writes one cell absorbs per query execution (after row leveling).
+  double writes_per_cell_per_query = 0;
+  /// Queries per second at 100% duty cycle.
+  double queries_per_second = 0;
+  /// Fig. 9 metric: per-cell writes over `horizon_years` back-to-back.
+  double writes_over_horizon = 0;
+  /// Years until the budget is exhausted at 100% duty cycle.
+  double lifetime_years = 0;
+  bool within_budget = false;
+};
+
+/// Computes the report for a query with worst-row write count
+/// `max_row_writes` and latency `query_ns`, on `cfg`'s row geometry.
+EnduranceReport endurance_report(std::uint64_t max_row_writes,
+                                 TimeNs query_ns, const PimConfig& cfg,
+                                 double horizon_years = 10.0,
+                                 double budget_writes = kRramEnduranceWrites);
+
+}  // namespace bbpim::pim

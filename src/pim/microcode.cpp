@@ -1,0 +1,547 @@
+#include "pim/microcode.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bbpim::pim {
+
+// ---------------------------------------------------------------------------
+// ColumnAlloc
+// ---------------------------------------------------------------------------
+
+ColumnAlloc::ColumnAlloc(std::uint16_t begin, std::uint16_t end)
+    : begin_(begin), end_(end), in_use_(end > begin ? end - begin : 0, false) {
+  if (end <= begin) throw std::invalid_argument("ColumnAlloc: empty region");
+}
+
+std::uint16_t ColumnAlloc::alloc() {
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    if (!in_use_[i]) {
+      in_use_[i] = true;
+      return static_cast<std::uint16_t>(begin_ + i);
+    }
+  }
+  throw std::runtime_error("ColumnAlloc: scratch columns exhausted");
+}
+
+void ColumnAlloc::release(std::uint16_t col) {
+  if (col < begin_ || col >= end_) {
+    throw std::out_of_range("ColumnAlloc::release: not a scratch column");
+  }
+  if (!in_use_[col - begin_]) {
+    throw std::logic_error("ColumnAlloc::release: double release");
+  }
+  in_use_[col - begin_] = false;
+}
+
+Field ColumnAlloc::alloc_field(std::uint16_t width) {
+  if (width == 0) throw std::invalid_argument("ColumnAlloc: zero-width field");
+  const std::size_t n = in_use_.size();
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run = in_use_[i] ? 0 : run + 1;
+    if (run == width) {
+      const std::size_t start = i + 1 - width;
+      for (std::size_t j = start; j <= i; ++j) in_use_[j] = true;
+      return Field{static_cast<std::uint16_t>(begin_ + start), width};
+    }
+  }
+  throw std::runtime_error("ColumnAlloc: no contiguous scratch run");
+}
+
+Field ColumnAlloc::alloc_aligned_chunk(std::uint16_t chunk_bits) {
+  if (chunk_bits == 0) throw std::invalid_argument("ColumnAlloc: zero chunk");
+  // First chunk boundary at or after begin_.
+  std::uint16_t start = static_cast<std::uint16_t>(
+      (begin_ + chunk_bits - 1) / chunk_bits * chunk_bits);
+  for (; start + chunk_bits <= end_; start += chunk_bits) {
+    bool free_run = true;
+    for (std::uint16_t i = 0; i < chunk_bits; ++i) {
+      if (in_use_[start + i - begin_]) {
+        free_run = false;
+        break;
+      }
+    }
+    if (free_run) {
+      for (std::uint16_t i = 0; i < chunk_bits; ++i) {
+        in_use_[start + i - begin_] = true;
+      }
+      return Field{start, chunk_bits};
+    }
+  }
+  throw std::runtime_error("ColumnAlloc: no aligned chunk available");
+}
+
+void ColumnAlloc::release_field(const Field& f) {
+  for (std::uint16_t i = 0; i < f.width; ++i) {
+    release(static_cast<std::uint16_t>(f.offset + i));
+  }
+}
+
+std::size_t ColumnAlloc::available() const {
+  std::size_t n = 0;
+  for (bool b : in_use_) n += !b;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder: gate-level helpers
+// ---------------------------------------------------------------------------
+
+std::uint16_t ProgramBuilder::fresh() {
+  const std::uint16_t col = alloc_.alloc();
+  prog_.push_back(MicroOp::init1(col));
+  return col;
+}
+
+std::uint16_t ProgramBuilder::emit_not(std::uint16_t a) {
+  const std::uint16_t t = fresh();
+  prog_.push_back(MicroOp::not_op(a, t));
+  return t;
+}
+
+std::uint16_t ProgramBuilder::emit_nor(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t t = fresh();
+  prog_.push_back(MicroOp::nor_op(a, b, t));
+  return t;
+}
+
+std::uint16_t ProgramBuilder::emit_or(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t n = emit_nor(a, b);
+  const std::uint16_t r = emit_not(n);
+  release(n);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_and(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t na = emit_not(a);
+  const std::uint16_t nb = emit_not(b);
+  const std::uint16_t r = emit_nor(na, nb);
+  release(na);
+  release(nb);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_andnot(std::uint16_t a, std::uint16_t b) {
+  // a AND NOT b == NOR(NOT a, b)
+  const std::uint16_t na = emit_not(a);
+  const std::uint16_t r = emit_nor(na, b);
+  release(na);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_xnor(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t n1 = emit_nor(a, b);
+  const std::uint16_t n2 = emit_nor(a, n1);
+  const std::uint16_t n3 = emit_nor(b, n1);
+  const std::uint16_t r = emit_nor(n2, n3);
+  release(n1);
+  release(n2);
+  release(n3);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_xor(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t x = emit_xnor(a, b);
+  const std::uint16_t r = emit_not(x);
+  release(x);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_const(bool value) {
+  const std::uint16_t t = alloc_.alloc();
+  prog_.push_back(value ? MicroOp::init1(t) : MicroOp::init0(t));
+  return t;
+}
+
+std::uint16_t ProgramBuilder::emit_copy(std::uint16_t a) {
+  const std::uint16_t n = emit_not(a);
+  const std::uint16_t r = emit_not(n);
+  release(n);
+  return r;
+}
+
+void ProgramBuilder::emit_copy_into(std::uint16_t src, std::uint16_t dst) {
+  const std::uint16_t n = emit_not(src);
+  prog_.push_back(MicroOp::init1(dst));
+  prog_.push_back(MicroOp::not_op(n, dst));
+  release(n);
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Largest value representable by a field (width <= 64).
+std::uint64_t field_max(const Field& f) {
+  return f.width >= 64 ? ~0ULL : (1ULL << f.width) - 1;
+}
+}  // namespace
+
+std::uint16_t ProgramBuilder::emit_eq_const(const Field& f, std::uint64_t value) {
+  if (f.width == 0 || f.width > 64) {
+    throw std::invalid_argument("emit_eq_const: bad field width");
+  }
+  if (value > field_max(f)) return emit_const(false);
+
+  // eq = NOT (OR_i mismatch_i); mismatch_i = a_i XOR c_i, which is a_i for
+  // c_i = 0 and NOT a_i for c_i = 1.
+  std::uint16_t acc = 0;
+  bool have_acc = false;
+  for (std::uint16_t i = 0; i < f.width; ++i) {
+    const std::uint16_t col = static_cast<std::uint16_t>(f.offset + i);
+    const bool ci = (value >> i) & 1ULL;
+    std::uint16_t term = 0;
+    bool term_owned = false;
+    if (ci) {
+      term = emit_not(col);
+      term_owned = true;
+    } else {
+      term = col;
+    }
+    if (!have_acc) {
+      acc = term_owned ? term : emit_copy(term);
+      have_acc = true;
+    } else {
+      const std::uint16_t next = emit_or(acc, term);
+      release(acc);
+      if (term_owned) release(term);
+      acc = next;
+    }
+  }
+  const std::uint16_t r = emit_not(acc);
+  release(acc);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_lt_const(const Field& f, std::uint64_t value) {
+  if (f.width == 0 || f.width > 64) {
+    throw std::invalid_argument("emit_lt_const: bad field width");
+  }
+  if (value == 0) return emit_const(false);
+  if (value > field_max(f)) return emit_const(true);
+
+  // MSB-first scan keeping eq_prefix ("all higher bits equal to the
+  // constant") and lt_acc ("already strictly below").
+  std::uint16_t eq_prefix = 0;
+  bool eq_owned = false;
+  bool eq_is_one = true;  // implicit constant 1 before the first bit
+  std::uint16_t lt_acc = 0;
+  bool have_lt = false;
+
+  for (int i = static_cast<int>(f.width) - 1; i >= 0; --i) {
+    const std::uint16_t col = static_cast<std::uint16_t>(f.offset + i);
+    const bool ci = (value >> i) & 1ULL;
+    if (ci) {
+      // a_i = 0 while prefix equal -> strictly less.
+      std::uint16_t term;
+      if (eq_is_one) {
+        term = emit_not(col);
+      } else {
+        term = emit_andnot(eq_prefix, col);
+      }
+      if (!have_lt) {
+        lt_acc = term;
+        have_lt = true;
+      } else {
+        const std::uint16_t next = emit_or(lt_acc, term);
+        release(lt_acc);
+        release(term);
+        lt_acc = next;
+      }
+      // Staying equal requires a_i = 1.
+      if (eq_is_one) {
+        eq_prefix = col;
+        eq_owned = false;
+        eq_is_one = false;
+      } else {
+        const std::uint16_t next = emit_and(eq_prefix, col);
+        if (eq_owned) release(eq_prefix);
+        eq_prefix = next;
+        eq_owned = true;
+      }
+    } else {
+      // Staying equal requires a_i = 0.
+      if (eq_is_one) {
+        eq_prefix = emit_not(col);
+        eq_owned = true;
+        eq_is_one = false;
+      } else {
+        const std::uint16_t next = emit_andnot(eq_prefix, col);
+        if (eq_owned) release(eq_prefix);
+        eq_prefix = next;
+        eq_owned = true;
+      }
+    }
+  }
+  if (eq_owned) release(eq_prefix);
+  if (!have_lt) return emit_const(false);
+  return lt_acc;
+}
+
+std::uint16_t ProgramBuilder::emit_le_const(const Field& f, std::uint64_t value) {
+  if (value >= field_max(f)) return emit_const(true);
+  return emit_lt_const(f, value + 1);
+}
+
+std::uint16_t ProgramBuilder::emit_gt_const(const Field& f, std::uint64_t value) {
+  const std::uint16_t le = emit_le_const(f, value);
+  const std::uint16_t r = emit_not(le);
+  release(le);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_ge_const(const Field& f, std::uint64_t value) {
+  const std::uint16_t lt = emit_lt_const(f, value);
+  const std::uint16_t r = emit_not(lt);
+  release(lt);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_between_const(const Field& f,
+                                                 std::uint64_t lo,
+                                                 std::uint64_t hi) {
+  if (lo > hi) return emit_const(false);
+  if (lo == 0) return emit_le_const(f, hi);
+  if (hi >= field_max(f)) return emit_ge_const(f, lo);
+  const std::uint16_t ge = emit_ge_const(f, lo);
+  const std::uint16_t le = emit_le_const(f, hi);
+  const std::uint16_t r = emit_and(ge, le);
+  release(ge);
+  release(le);
+  return r;
+}
+
+std::uint16_t ProgramBuilder::emit_in_set(const Field& f,
+                                          std::span<const std::uint64_t> values) {
+  if (values.empty()) return emit_const(false);
+  std::uint16_t acc = emit_eq_const(f, values[0]);
+  for (std::size_t i = 1; i < values.size(); ++i) {
+    const std::uint16_t eq = emit_eq_const(f, values[i]);
+    const std::uint16_t next = emit_or(acc, eq);
+    release(acc);
+    release(eq);
+    acc = next;
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool fields_overlap(const Field& a, const Field& b) {
+  return a.offset < b.offset + b.width && b.offset < a.offset + a.width;
+}
+
+}  // namespace
+
+/// Constant-folded reference to an operand bit: a real column or a known 0/1.
+struct BitRef {
+  enum class Kind : std::uint8_t { kZero, kOne, kCol };
+  Kind kind = Kind::kZero;
+  std::uint16_t col = 0;
+  bool owned = false;
+
+  static BitRef zero() { return {}; }
+  static BitRef one() { return {Kind::kOne, 0, false}; }
+  static BitRef column(std::uint16_t c, bool owned = false) {
+    return {Kind::kCol, c, owned};
+  }
+};
+
+namespace {
+
+void release_ref(ProgramBuilder& pb, BitRef& r) {
+  if (r.kind == BitRef::Kind::kCol && r.owned) {
+    pb.release(r.col);
+    r.owned = false;
+  }
+}
+
+/// Pass-through helper: the result aliases `x`, so scratch ownership moves to
+/// the result (the caller still calls release_ref on `x`, now a no-op).
+BitRef steal(BitRef& x) {
+  BitRef r = x;
+  x.owned = false;
+  return r;
+}
+
+BitRef ref_not(ProgramBuilder& pb, const BitRef& x) {
+  switch (x.kind) {
+    case BitRef::Kind::kZero: return BitRef::one();
+    case BitRef::Kind::kOne: return BitRef::zero();
+    case BitRef::Kind::kCol: return BitRef::column(pb.emit_not(x.col), true);
+  }
+  return BitRef::zero();
+}
+
+BitRef ref_xor(ProgramBuilder& pb, BitRef& x, BitRef& y) {
+  if (x.kind == BitRef::Kind::kZero) return steal(y);
+  if (y.kind == BitRef::Kind::kZero) return steal(x);
+  if (x.kind == BitRef::Kind::kOne && y.kind == BitRef::Kind::kOne) {
+    return BitRef::zero();
+  }
+  if (x.kind == BitRef::Kind::kOne) return ref_not(pb, y);
+  if (y.kind == BitRef::Kind::kOne) return ref_not(pb, x);
+  return BitRef::column(pb.emit_xor(x.col, y.col), true);
+}
+
+BitRef ref_and(ProgramBuilder& pb, BitRef& x, BitRef& y) {
+  if (x.kind == BitRef::Kind::kZero || y.kind == BitRef::Kind::kZero) {
+    return BitRef::zero();
+  }
+  if (x.kind == BitRef::Kind::kOne) return steal(y);
+  if (y.kind == BitRef::Kind::kOne) return steal(x);
+  return BitRef::column(pb.emit_and(x.col, y.col), true);
+}
+
+BitRef ref_or(ProgramBuilder& pb, BitRef& x, BitRef& y) {
+  if (x.kind == BitRef::Kind::kOne || y.kind == BitRef::Kind::kOne) {
+    return BitRef::one();
+  }
+  if (x.kind == BitRef::Kind::kZero) return steal(y);
+  if (y.kind == BitRef::Kind::kZero) return steal(x);
+  return BitRef::column(pb.emit_or(x.col, y.col), true);
+}
+
+/// Majority of three (the ripple carry).
+BitRef ref_maj(ProgramBuilder& pb, BitRef& a, BitRef& b, BitRef& c) {
+  BitRef ab = ref_and(pb, a, b);
+  BitRef aob = ref_or(pb, a, b);
+  BitRef cab = ref_and(pb, c, aob);
+  BitRef r = ref_or(pb, ab, cab);
+  release_ref(pb, ab);
+  release_ref(pb, aob);
+  release_ref(pb, cab);
+  return r;
+}
+
+/// Writes a BitRef value into an arbitrary destination column.
+void ref_store(ProgramBuilder& pb, const BitRef& v, std::uint16_t dst,
+               MicroProgram& prog) {
+  switch (v.kind) {
+    case BitRef::Kind::kZero:
+      prog.push_back(MicroOp::init0(dst));
+      break;
+    case BitRef::Kind::kOne:
+      prog.push_back(MicroOp::init1(dst));
+      break;
+    case BitRef::Kind::kCol:
+      pb.emit_copy_into(v.col, dst);
+      break;
+  }
+}
+
+BitRef operand_bit(const Field& f, std::uint16_t i) {
+  if (i >= f.width) return BitRef::zero();
+  return BitRef::column(static_cast<std::uint16_t>(f.offset + i), false);
+}
+
+}  // namespace
+
+void ProgramBuilder::emit_add(const Field& a, const Field& b, const Field& dst) {
+  if (fields_overlap(a, dst) || fields_overlap(b, dst)) {
+    throw std::invalid_argument("emit_add: destination overlaps an operand");
+  }
+  BitRef carry = BitRef::zero();
+  for (std::uint16_t i = 0; i < dst.width; ++i) {
+    BitRef ai = operand_bit(a, i);
+    BitRef bi = operand_bit(b, i);
+    BitRef x = ref_xor(*this, ai, bi);
+    BitRef s = ref_xor(*this, x, carry);
+    BitRef c_next = ref_maj(*this, ai, bi, carry);
+    ref_store(*this, s, static_cast<std::uint16_t>(dst.offset + i), prog_);
+    release_ref(*this, x);
+    release_ref(*this, s);
+    release_ref(*this, carry);
+    carry = c_next;
+  }
+  release_ref(*this, carry);
+}
+
+void ProgramBuilder::emit_sub(const Field& a, const Field& b, const Field& dst) {
+  if (fields_overlap(a, dst) || fields_overlap(b, dst)) {
+    throw std::invalid_argument("emit_sub: destination overlaps an operand");
+  }
+  // a - b = a + NOT(b) + 1 in two's complement; absent b bits invert to 1.
+  BitRef carry = BitRef::one();
+  for (std::uint16_t i = 0; i < dst.width; ++i) {
+    BitRef ai = operand_bit(a, i);
+    BitRef bi_raw = operand_bit(b, i);
+    BitRef bi = ref_not(*this, bi_raw);
+    BitRef x = ref_xor(*this, ai, bi);
+    BitRef s = ref_xor(*this, x, carry);
+    BitRef c_next = ref_maj(*this, ai, bi, carry);
+    ref_store(*this, s, static_cast<std::uint16_t>(dst.offset + i), prog_);
+    release_ref(*this, x);
+    release_ref(*this, s);
+    release_ref(*this, bi);
+    release_ref(*this, carry);
+    carry = c_next;
+  }
+  release_ref(*this, carry);
+}
+
+void ProgramBuilder::emit_mul(const Field& a, const Field& b, const Field& dst) {
+  if (fields_overlap(a, dst) || fields_overlap(b, dst)) {
+    throw std::invalid_argument("emit_mul: destination overlaps an operand");
+  }
+  emit_clear_field(dst);
+  // Shift-add: for each multiplier bit, acc[i..] += (a AND b_i).
+  for (std::uint16_t i = 0; i < b.width && i < dst.width; ++i) {
+    const std::uint16_t bi = static_cast<std::uint16_t>(b.offset + i);
+    BitRef carry = BitRef::zero();
+    for (std::uint16_t j = 0; i + j < dst.width; ++j) {
+      const std::uint16_t dcol = static_cast<std::uint16_t>(dst.offset + i + j);
+      BitRef pj;  // partial-product bit: a_j AND b_i
+      if (j < a.width) {
+        pj = BitRef::column(
+            emit_and(static_cast<std::uint16_t>(a.offset + j), bi), true);
+      } else {
+        pj = BitRef::zero();
+      }
+      if (pj.kind == BitRef::Kind::kZero && carry.kind == BitRef::Kind::kZero) {
+        break;  // nothing further to propagate
+      }
+      BitRef acc = BitRef::column(dcol, false);
+      BitRef x = ref_xor(*this, acc, pj);
+      BitRef s = ref_xor(*this, x, carry);
+      BitRef c_next = ref_maj(*this, acc, pj, carry);
+      ref_store(*this, s, dcol, prog_);
+      release_ref(*this, x);
+      release_ref(*this, s);
+      release_ref(*this, pj);
+      release_ref(*this, carry);
+      carry = c_next;
+    }
+    release_ref(*this, carry);
+  }
+}
+
+void ProgramBuilder::emit_mux_const(const Field& f, std::uint64_t value,
+                                    std::uint16_t select_col) {
+  // Algorithm 1: v_i <- v_i OR s when c_i = 1, v_i <- v_i AND NOT s otherwise.
+  for (std::uint16_t i = 0; i < f.width; ++i) {
+    const std::uint16_t vcol = static_cast<std::uint16_t>(f.offset + i);
+    std::uint16_t t;
+    if ((value >> i) & 1ULL) {
+      t = emit_or(vcol, select_col);
+    } else {
+      t = emit_andnot(vcol, select_col);
+    }
+    emit_copy_into(t, vcol);
+    release(t);
+  }
+}
+
+void ProgramBuilder::emit_clear_field(const Field& f) {
+  for (std::uint16_t i = 0; i < f.width; ++i) {
+    prog_.push_back(MicroOp::init0(static_cast<std::uint16_t>(f.offset + i)));
+  }
+}
+
+}  // namespace bbpim::pim

@@ -1,0 +1,45 @@
+// The bulk-bitwise micro-operation set.
+//
+// A micro-op is one 30 ns MAGIC-style cycle applied column-wise to a whole
+// crossbar: every row computes the same 1- or 2-input gate into an output
+// column cell. Memristive MAGIC provides NOR natively (NOT is a 1-input
+// NOR); initialization of the output column is itself a write cycle, which
+// we expose as kInit0/kInit1 so that op counts, energy, and wear stay honest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bbpim::pim {
+
+/// One column-parallel memristive cycle.
+enum class MicroOpKind : std::uint8_t {
+  kInit0,  ///< out <- 0 across all rows (output column initialization)
+  kInit1,  ///< out <- 1 across all rows
+  kNot,    ///< out <- NOT a        (1-input MAGIC NOR)
+  kNor,    ///< out <- NOR(a, b)    (native MAGIC gate)
+};
+
+/// Column indices are bit positions within a crossbar row.
+struct MicroOp {
+  MicroOpKind kind;
+  std::uint16_t a = 0;    ///< first input column (unused for init)
+  std::uint16_t b = 0;    ///< second input column (kNor only)
+  std::uint16_t out = 0;  ///< output column
+
+  static MicroOp init0(std::uint16_t out) { return {MicroOpKind::kInit0, 0, 0, out}; }
+  static MicroOp init1(std::uint16_t out) { return {MicroOpKind::kInit1, 0, 0, out}; }
+  static MicroOp not_op(std::uint16_t a, std::uint16_t out) {
+    return {MicroOpKind::kNot, a, 0, out};
+  }
+  static MicroOp nor_op(std::uint16_t a, std::uint16_t b, std::uint16_t out) {
+    return {MicroOpKind::kNor, a, b, out};
+  }
+};
+
+/// A straight-line sequence of micro-ops, broadcast by a PIM controller to
+/// all crossbars of a page. Each op costs one logic cycle and writes the
+/// output column once per row (wear).
+using MicroProgram = std::vector<MicroOp>;
+
+}  // namespace bbpim::pim

@@ -1,0 +1,69 @@
+// The PIM module: a rank of 8 PIM-enabled chips used as main memory.
+//
+// Owns the functional pages actually backing relations (the 32 GB capacity
+// figure matters for area/static modeling only — pages are materialized on
+// demand). Provides host-visible record reads at cache-line granularity,
+// including the line geometry that produces the paper's 32x read
+// amplification, and module-wide wear accounting for Fig. 9.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "pim/config.hpp"
+#include "pim/microcode.hpp"
+#include "pim/page.hpp"
+
+namespace bbpim::pim {
+
+/// Identifies one 64 B host line inside the module: chunk `chunk` of the
+/// records at row `row` in all 32 crossbars of page `page`.
+struct LineAddr {
+  std::uint32_t page = 0;
+  std::uint32_t row = 0;
+  std::uint32_t chunk = 0;
+
+  friend bool operator==(const LineAddr&, const LineAddr&) = default;
+};
+
+class PimModule {
+ public:
+  explicit PimModule(PimConfig cfg = {}) : cfg_(cfg) {}
+
+  const PimConfig& config() const { return cfg_; }
+
+  /// Materializes `n` fresh pages; returns the index of the first.
+  std::size_t allocate_pages(std::size_t n);
+
+  std::size_t page_count() const { return pages_.size(); }
+  Page& page(std::size_t i) { return pages_.at(i); }
+  const Page& page(std::size_t i) const { return pages_.at(i); }
+
+  /// Functional read of one record field (record index is page-local,
+  /// crossbar-major). Timing is charged by the host memory model per unique
+  /// line touched — see host::ReadSet.
+  std::uint64_t read_record_field(std::size_t page_idx, std::uint32_t record,
+                                  const Field& f) const;
+
+  /// Functional write of one record field (bulk load / UPDATE paths).
+  void write_record_field(std::size_t page_idx, std::uint32_t record,
+                          const Field& f, std::uint64_t value);
+
+  /// The unique host line holding chunk `chunk` of `record` in `page`.
+  LineAddr line_of(std::uint32_t page_idx, std::uint32_t record,
+                   std::uint32_t chunk) const {
+    const Page& p = pages_.at(page_idx);
+    return LineAddr{page_idx, p.locate(record).row, chunk};
+  }
+
+  // --- Wear accounting (Fig. 9) --------------------------------------------
+  /// Worst-case writes experienced by a single crossbar row anywhere.
+  std::uint64_t max_row_writes() const;
+  void reset_wear();
+
+ private:
+  PimConfig cfg_;
+  std::deque<Page> pages_;  // deque keeps references stable across allocs
+};
+
+}  // namespace bbpim::pim

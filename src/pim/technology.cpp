@@ -1,0 +1,54 @@
+#include "pim/technology.hpp"
+
+#include <stdexcept>
+
+namespace bbpim::pim {
+
+const char* technology_name(Technology tech) {
+  switch (tech) {
+    case Technology::kRram: return "RRAM";
+    case Technology::kDram: return "DRAM";
+    case Technology::kPcm: return "PCM";
+  }
+  return "?";
+}
+
+double technology_endurance_writes(Technology tech) {
+  switch (tech) {
+    case Technology::kRram: return 1e12;  // [22]
+    case Technology::kDram: return 1e17;  // effectively unlimited
+    case Technology::kPcm: return 1e9;    // typical published PCM endurance
+  }
+  throw std::invalid_argument("technology_endurance_writes: bad technology");
+}
+
+PimConfig technology_config(Technology tech) {
+  PimConfig cfg;  // the paper's RRAM Table I by default
+  switch (tech) {
+    case Technology::kRram:
+      break;
+    case Technology::kDram:
+      // Ambit-style: one bulk op = a triple-row-activation sequence
+      // (ACT-ACT-PRE, ~3x tRAS), cheap charge-based ops, fast writes.
+      cfg.logic_cycle_ns = 105.0;
+      cfg.read_cycle_ns = 15.0;
+      cfg.write_cycle_ns = 15.0;
+      cfg.logic_energy_fj_per_bit = 25.0;
+      cfg.read_energy_pj_per_bit = 0.35;
+      cfg.write_energy_pj_per_bit = 0.35;
+      break;
+    case Technology::kPcm:
+      // Pinatubo-style: reads comparable to RRAM, SET/RESET writes are the
+      // pain point (energy and latency), logic via modified sense amps.
+      cfg.logic_cycle_ns = 60.0;
+      cfg.read_cycle_ns = 30.0;
+      cfg.write_cycle_ns = 150.0;
+      cfg.logic_energy_fj_per_bit = 120.0;
+      cfg.read_energy_pj_per_bit = 1.1;
+      cfg.write_energy_pj_per_bit = 16.8;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace bbpim::pim

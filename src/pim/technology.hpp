@@ -1,0 +1,29 @@
+// Memory-technology presets for the PIM module.
+//
+// Bulk-bitwise PIM has been proposed on several substrates (Section II-B):
+// memristive RRAM (the paper's system, MAGIC-style NOR), DRAM
+// (Ambit/SIMDRAM-style triple-row activation), and PCM (Pinatubo-style).
+// These presets re-parameterize PimConfig so the ablation bench can show
+// how the paper's conclusions shift with the technology: DRAM's slower
+// logic cycle but effectively unlimited endurance, PCM's expensive writes.
+// Geometry (crossbar/page/chip counts) is held constant so query plans and
+// functional behaviour are identical — only costs move.
+#pragma once
+
+#include <string>
+
+#include "pim/config.hpp"
+
+namespace bbpim::pim {
+
+enum class Technology { kRram, kDram, kPcm };
+
+const char* technology_name(Technology tech);
+
+/// Endurance budget (writes per cell) for a technology.
+double technology_endurance_writes(Technology tech);
+
+/// PimConfig preset for a technology. kRram returns the paper's Table I.
+PimConfig technology_config(Technology tech);
+
+}  // namespace bbpim::pim

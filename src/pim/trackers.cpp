@@ -1,0 +1,31 @@
+#include "pim/trackers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbpim::pim {
+
+void PowerTracker::add_interval(TimeNs start_ns, TimeNs end_ns, PowerW watts) {
+  if (end_ns < start_ns) {
+    throw std::invalid_argument("PowerTracker: negative interval");
+  }
+  if (end_ns == start_ns || watts == 0.0) return;
+  events_.push_back({start_ns, watts});
+  events_.push_back({end_ns, -watts});
+}
+
+PowerW PowerTracker::peak_module_w() const {
+  std::vector<Event> sorted = events_;
+  std::sort(sorted.begin(), sorted.end(), [](const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.delta < b.delta;  // process removals first at equal time
+  });
+  PowerW cur = 0, peak = 0;
+  for (const Event& e : sorted) {
+    cur += e.delta;
+    peak = std::max(peak, cur);
+  }
+  return peak;
+}
+
+}  // namespace bbpim::pim

@@ -1,0 +1,70 @@
+// Energy and peak-power accounting for the PIM module.
+//
+// Figures 7 and 8 of the paper report per-query PIM module energy and the
+// peak power drawn by a single PIM chip. EnergyMeter accumulates dynamic and
+// active-component energy by category; PowerTracker collects time intervals
+// of module activity and computes the worst instantaneous overlap.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace bbpim::pim {
+
+/// Where the joules went — used by the energy bench to explain Fig. 7.
+enum class EnergyCat : std::size_t {
+  kLogic = 0,      ///< bulk-bitwise MAGIC cycles
+  kRead,           ///< crossbar reads (host lines, result columns, agg reads)
+  kWrite,          ///< crossbar writes (results, column writes, updates)
+  kController,     ///< PIM controllers while executing requests
+  kAggCircuit,     ///< aggregation circuits while active
+  kCount
+};
+
+/// Accumulates module energy by category.
+class EnergyMeter {
+ public:
+  void add(EnergyCat cat, EnergyJ joules) {
+    by_cat_[static_cast<std::size_t>(cat)] += joules;
+  }
+  EnergyJ total() const {
+    EnergyJ t = 0;
+    for (EnergyJ e : by_cat_) t += e;
+    return t;
+  }
+  EnergyJ of(EnergyCat cat) const {
+    return by_cat_[static_cast<std::size_t>(cat)];
+  }
+  void reset() { by_cat_.fill(0.0); }
+
+ private:
+  std::array<EnergyJ, static_cast<std::size_t>(EnergyCat::kCount)> by_cat_{};
+};
+
+/// Sweep-line peak power over recorded activity intervals.
+///
+/// Pages are striped uniformly across all chips, so per-chip power is the
+/// module power divided by the chip count.
+class PowerTracker {
+ public:
+  /// Records that the module drew `watts` during [start, end).
+  void add_interval(TimeNs start_ns, TimeNs end_ns, PowerW watts);
+
+  /// Maximum instantaneous module power across all recorded intervals.
+  PowerW peak_module_w() const;
+
+  std::size_t interval_count() const { return events_.size() / 2; }
+  void reset() { events_.clear(); }
+
+ private:
+  struct Event {
+    TimeNs t;
+    PowerW delta;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace bbpim::pim

@@ -1,0 +1,172 @@
+#include "relational/csv.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace bbpim::rel {
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void write_field(std::ostream& os, const std::string& s) {
+  if (!needs_quoting(s)) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (const char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+/// Splits one CSV record (handles quoted fields spanning commas; a record
+/// never spans lines in our exports, and import rejects embedded newlines
+/// for simplicity).
+std::vector<std::string> split_record(const std::string& line,
+                                      std::size_t line_no) {
+  std::vector<std::string> out;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  if (quoted) {
+    throw std::invalid_argument("read_csv: unterminated quote on line " +
+                                std::to_string(line_no));
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+bool parse_uint(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+void write_csv(const Table& table, std::ostream& os) {
+  const Schema& schema = table.schema();
+  for (std::size_t a = 0; a < schema.attribute_count(); ++a) {
+    if (a) os << ',';
+    write_field(os, schema.attribute(a).name);
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    for (std::size_t a = 0; a < schema.attribute_count(); ++a) {
+      if (a) os << ',';
+      write_field(os, table.display(r, a));
+    }
+    os << '\n';
+  }
+}
+
+Table read_csv(std::istream& is, std::string table_name) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("read_csv: missing header");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::vector<std::string> header = split_record(line, 1);
+  if (header.empty() || (header.size() == 1 && header[0].empty())) {
+    throw std::invalid_argument("read_csv: empty header");
+  }
+  const std::size_t ncols = header.size();
+
+  std::vector<std::vector<std::string>> rows;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> rec = split_record(line, line_no);
+    if (rec.size() != ncols) {
+      throw std::invalid_argument("read_csv: line " + std::to_string(line_no) +
+                                  " has " + std::to_string(rec.size()) +
+                                  " fields, expected " + std::to_string(ncols));
+    }
+    rows.push_back(std::move(rec));
+  }
+
+  // Infer per-column types.
+  std::vector<rel::Attribute> attrs(ncols);
+  std::vector<bool> is_int(ncols, true);
+  std::vector<std::uint64_t> max_val(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    for (const auto& row : rows) {
+      std::uint64_t v = 0;
+      if (!parse_uint(row[c], &v)) {
+        is_int[c] = false;
+        break;
+      }
+      max_val[c] = std::max(max_val[c], v);
+    }
+  }
+  for (std::size_t c = 0; c < ncols; ++c) {
+    attrs[c].name = header[c];
+    if (is_int[c]) {
+      attrs[c].type = DataType::kInt;
+      attrs[c].bits = bits_for_max(max_val[c]);
+    } else {
+      std::vector<std::string> values;
+      values.reserve(rows.size());
+      for (const auto& row : rows) values.push_back(row[c]);
+      attrs[c].type = DataType::kString;
+      attrs[c].dict = std::make_shared<const Dictionary>(
+          Dictionary::from_values(std::move(values)));
+      attrs[c].bits = attrs[c].dict->code_bits();
+    }
+  }
+
+  Table t(Schema(std::move(attrs)), std::move(table_name));
+  t.reserve(rows.size());
+  std::vector<std::uint64_t> codes(ncols);
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      if (is_int[c]) {
+        std::uint64_t v = 0;
+        parse_uint(row[c], &v);
+        codes[c] = v;
+      } else {
+        codes[c] = *t.schema().attribute(c).dict->code(row[c]);
+      }
+    }
+    t.append_row(codes);
+  }
+  return t;
+}
+
+}  // namespace bbpim::rel

@@ -1,0 +1,25 @@
+// CSV import/export for relational tables.
+//
+// Export writes dictionary-decoded values (human-readable, round-trips
+// through import). Import infers the schema: a column whose every value
+// parses as a non-negative integer becomes kInt (width sized to the max),
+// anything else becomes a dictionary-encoded string attribute. Quoting
+// follows RFC 4180 (double quotes, doubled to escape).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "relational/table.hpp"
+
+namespace bbpim::rel {
+
+/// Writes header + rows; string attributes are decoded through their
+/// dictionaries.
+void write_csv(const Table& table, std::ostream& os);
+
+/// Reads header + rows, inferring the schema as documented above.
+/// Throws std::invalid_argument on ragged rows or an empty header.
+Table read_csv(std::istream& is, std::string table_name = "csv");
+
+}  // namespace bbpim::rel

@@ -1,0 +1,47 @@
+#include "relational/dictionary.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace bbpim::rel {
+
+Dictionary Dictionary::from_values(std::vector<std::string> values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  Dictionary d;
+  d.sorted_ = std::move(values);
+  d.index_.reserve(d.sorted_.size());
+  for (std::size_t i = 0; i < d.sorted_.size(); ++i) {
+    d.index_.emplace(d.sorted_[i], i);
+  }
+  return d;
+}
+
+std::optional<std::uint64_t> Dictionary::code(std::string_view value) const {
+  const auto it = index_.find(std::string(value));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t Dictionary::code_lower_bound(std::string_view value) const {
+  const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), value);
+  return static_cast<std::uint64_t>(it - sorted_.begin());
+}
+
+std::uint64_t Dictionary::code_upper_bound(std::string_view value) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), value);
+  return static_cast<std::uint64_t>(it - sorted_.begin());
+}
+
+const std::string& Dictionary::value(std::uint64_t code) const {
+  if (code >= sorted_.size()) throw std::out_of_range("Dictionary::value");
+  return sorted_[code];
+}
+
+std::uint32_t Dictionary::code_bits() const {
+  if (sorted_.size() <= 1) return 1;
+  return 64 - std::countl_zero(static_cast<std::uint64_t>(sorted_.size() - 1));
+}
+
+}  // namespace bbpim::rel

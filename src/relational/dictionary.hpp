@@ -1,0 +1,44 @@
+// Order-preserving dictionary encoding for string attributes.
+//
+// Bulk-bitwise PIM compares bit-packed codes, so string predicates must map
+// to integer predicates. The dictionary assigns codes in lexicographic
+// order, which keeps range predicates (e.g. SSB Q2.2's
+// p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228') exact on codes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace bbpim::rel {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Builds from a value domain (deduplicated and sorted internally).
+  static Dictionary from_values(std::vector<std::string> values);
+
+  /// Exact-match code; nullopt when absent.
+  std::optional<std::uint64_t> code(std::string_view value) const;
+
+  /// First code whose value is >= `value` (dictionary size when none).
+  std::uint64_t code_lower_bound(std::string_view value) const;
+  /// One past the last code whose value is <= `value` (0 when none).
+  std::uint64_t code_upper_bound(std::string_view value) const;
+
+  const std::string& value(std::uint64_t code) const;
+  std::size_t size() const { return sorted_.size(); }
+
+  /// Bits needed to store any code.
+  std::uint32_t code_bits() const;
+
+ private:
+  std::vector<std::string> sorted_;
+  std::unordered_map<std::string, std::uint64_t> index_;
+};
+
+}  // namespace bbpim::rel

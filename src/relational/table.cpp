@@ -1,0 +1,38 @@
+#include "relational/table.hpp"
+
+#include <stdexcept>
+
+namespace bbpim::rel {
+
+Table::Table(Schema schema, std::string name)
+    : schema_(std::move(schema)),
+      name_(std::move(name)),
+      columns_(schema_.attribute_count()) {}
+
+void Table::append_row(std::span<const std::uint64_t> values) {
+  if (values.size() != schema_.attribute_count()) {
+    throw std::invalid_argument("Table::append_row: arity mismatch");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const Attribute& a = schema_.attribute(i);
+    if (a.bits < 64 && values[i] >> a.bits) {
+      throw std::invalid_argument("Table::append_row: value overflows '" +
+                                  a.name + "'");
+    }
+    columns_[i].push_back(values[i]);
+  }
+  ++rows_;
+}
+
+void Table::reserve(std::size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+}
+
+std::string Table::display(std::size_t row, std::size_t attr) const {
+  const Attribute& a = schema_.attribute(attr);
+  const std::uint64_t v = value(row, attr);
+  if (a.type == DataType::kString) return a.dict->value(v);
+  return std::to_string(v);
+}
+
+}  // namespace bbpim::rel

@@ -1,0 +1,72 @@
+// Abstract syntax for the SSB SQL subset.
+//
+// The paper compiles SSB's SQL offline into C++ query programs; this
+// repository's equivalent is a small front-end covering the grammar SSB
+// needs: SELECT items (group columns and SUM/MIN/MAX/COUNT over a column,
+// product, sum, or difference), FROM lists, WHERE conjunctions of
+// column-vs-literal comparisons, BETWEEN, IN, and column-equality join
+// predicates, GROUP BY and ORDER BY.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bbpim::sql {
+
+struct Literal {
+  enum class Kind : std::uint8_t { kInt, kString };
+  Kind kind = Kind::kInt;
+  std::int64_t int_value = 0;
+  std::string str_value;
+
+  static Literal of_int(std::int64_t v) { return {Kind::kInt, v, {}}; }
+  static Literal of_string(std::string v) {
+    return {Kind::kString, 0, std::move(v)};
+  }
+};
+
+/// Arithmetic over at most two columns — all SSB aggregates are a column,
+/// a product (Q1.x), or a difference (Q4.x).
+struct Expr {
+  enum class Kind : std::uint8_t { kColumn, kMul, kSub, kAdd };
+  Kind kind = Kind::kColumn;
+  std::string col_a;
+  std::string col_b;  // empty for kColumn
+};
+
+enum class AggFunc : std::uint8_t { kNone, kSum, kMin, kMax, kCount };
+
+struct SelectItem {
+  AggFunc func = AggFunc::kNone;  ///< kNone = plain (group) column
+  Expr expr;
+  std::string alias;  ///< optional AS name
+};
+
+enum class CmpOp : std::uint8_t { kEq, kLt, kLe, kGt, kGe };
+
+struct Predicate {
+  enum class Kind : std::uint8_t { kCmp, kBetween, kIn, kJoinEq };
+  Kind kind = Kind::kCmp;
+  std::string column;       ///< left column
+  CmpOp op = CmpOp::kEq;    ///< kCmp only
+  Literal v1;               ///< kCmp value / BETWEEN low
+  Literal v2;               ///< BETWEEN high
+  std::vector<Literal> in_list;
+  std::string join_right;   ///< kJoinEq: right column
+};
+
+struct OrderItem {
+  std::string column;  ///< group column name or the aggregate's alias
+  bool desc = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::vector<std::string> from;
+  std::vector<Predicate> where;  ///< implicit conjunction
+  std::vector<std::string> group_by;
+  std::vector<OrderItem> order_by;
+};
+
+}  // namespace bbpim::sql

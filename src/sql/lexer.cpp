@@ -1,0 +1,112 @@
+#include "sql/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <stdexcept>
+
+namespace bbpim::sql {
+namespace {
+
+const std::array<std::string_view, 16> kKeywords = {
+    "SELECT", "FROM", "WHERE",   "AND", "GROUP", "BY",  "ORDER", "ASC",
+    "DESC",   "AS",   "BETWEEN", "IN",  "SUM",   "MIN", "MAX",   "COUNT"};
+
+bool is_keyword(std::string_view upper) {
+  for (std::string_view k : kKeywords) {
+    if (k == upper) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void fail(std::string_view what, std::size_t pos) {
+  throw std::invalid_argument("SQL lex error at offset " + std::to_string(pos) +
+                              ": " + std::string(what));
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        word.push_back(sql[i++]);
+      }
+      std::string upper = word;
+      for (char& ch : upper) ch = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(ch)));
+      if (is_keyword(upper)) {
+        out.push_back({TokKind::kKeyword, upper, 0, start});
+      } else {
+        std::string lower = word;
+        for (char& ch : lower) ch = static_cast<char>(std::tolower(
+            static_cast<unsigned char>(ch)));
+        out.push_back({TokKind::kIdent, lower, 0, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t v = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        v = v * 10 + (sql[i++] - '0');
+      }
+      out.push_back({TokKind::kInt, {}, v, start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      while (i < n && sql[i] != '\'') s.push_back(sql[i++]);
+      if (i == n) fail("unterminated string literal", start);
+      ++i;  // closing quote
+      out.push_back({TokKind::kString, std::move(s), 0, start});
+      continue;
+    }
+    auto single = [&](TokKind k) {
+      out.push_back({k, {}, 0, start});
+      ++i;
+    };
+    switch (c) {
+      case ',': single(TokKind::kComma); break;
+      case '(': single(TokKind::kLParen); break;
+      case ')': single(TokKind::kRParen); break;
+      case '*': single(TokKind::kStar); break;
+      case '+': single(TokKind::kPlus); break;
+      case '-': single(TokKind::kMinus); break;
+      case ';': single(TokKind::kSemi); break;
+      case '=': single(TokKind::kEq); break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back({TokKind::kLe, {}, 0, start});
+          i += 2;
+        } else {
+          single(TokKind::kLt);
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          out.push_back({TokKind::kGe, {}, 0, start});
+          i += 2;
+        } else {
+          single(TokKind::kGt);
+        }
+        break;
+      default:
+        fail("unexpected character", start);
+    }
+  }
+  out.push_back({TokKind::kEnd, {}, 0, n});
+  return out;
+}
+
+}  // namespace bbpim::sql

@@ -1,0 +1,42 @@
+// SQL tokenizer for the SSB subset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bbpim::sql {
+
+enum class TokKind : std::uint8_t {
+  kIdent,    // column / table names (stored lowercased)
+  kKeyword,  // SELECT, FROM, ... (stored uppercased)
+  kInt,
+  kString,   // '...' literal, quotes stripped
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kEq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemi,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;          // ident/keyword/string payload
+  std::int64_t int_value = 0;
+  std::size_t pos = 0;       // byte offset, for error messages
+};
+
+/// Tokenizes a statement; throws std::invalid_argument with position info on
+/// malformed input (unterminated string, stray character).
+std::vector<Token> lex(std::string_view sql);
+
+}  // namespace bbpim::sql

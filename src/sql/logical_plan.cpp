@@ -1,0 +1,299 @@
+#include "sql/logical_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bbpim::sql {
+
+bool BoundPredicate::matches(std::uint64_t value) const {
+  switch (kind) {
+    case Kind::kEq: return value == v1;
+    case Kind::kLt: return value < v1;
+    case Kind::kLe: return value <= v1;
+    case Kind::kGt: return value > v1;
+    case Kind::kGe: return value >= v1;
+    case Kind::kBetween: return v1 <= value && value <= v2;
+    case Kind::kIn:
+      return std::find(in_values.begin(), in_values.end(), value) !=
+             in_values.end();
+    case Kind::kNever: return false;
+    case Kind::kAlways: return true;
+  }
+  return false;
+}
+
+std::uint64_t BoundAggExpr::eval(std::uint64_t va, std::uint64_t vb) const {
+  switch (kind) {
+    case Expr::Kind::kColumn: return va;
+    case Expr::Kind::kMul: return va * vb;
+    case Expr::Kind::kSub: return va - vb;
+    case Expr::Kind::kAdd: return va + vb;
+  }
+  return va;
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("SQL bind error: " + what);
+}
+
+std::size_t resolve(const rel::Schema& schema, const std::string& name) {
+  const auto idx = schema.index_of(name);
+  if (!idx) fail("unknown column '" + name + "'");
+  return *idx;
+}
+
+std::uint64_t domain_max(const rel::Attribute& a) {
+  return a.bits >= 64 ? ~0ULL : (1ULL << a.bits) - 1;
+}
+
+/// Binds one literal against an attribute; returns nullopt when a string
+/// literal has no code (callers turn that into kNever / range clamping).
+std::optional<std::uint64_t> bind_exact_literal(const rel::Attribute& a,
+                                                const Literal& lit) {
+  if (a.type == rel::DataType::kInt) {
+    if (lit.kind != Literal::Kind::kInt) {
+      fail("string literal compared with integer column '" + a.name + "'");
+    }
+    if (lit.int_value < 0) return std::nullopt;
+    return static_cast<std::uint64_t>(lit.int_value);
+  }
+  if (lit.kind != Literal::Kind::kString) {
+    fail("integer literal compared with string column '" + a.name + "'");
+  }
+  return a.dict->code(lit.str_value);
+}
+
+BoundPredicate bind_cmp(const rel::Schema& schema, const Predicate& p) {
+  BoundPredicate b;
+  b.attr = resolve(schema, p.column);
+  const rel::Attribute& a = schema.attribute(b.attr);
+
+  if (a.type == rel::DataType::kInt) {
+    if (p.v1.kind != Literal::Kind::kInt) {
+      fail("string literal compared with integer column '" + a.name + "'");
+    }
+    const std::int64_t v = p.v1.int_value;
+    if (v < 0) {
+      // Unsigned domains: x < negative is never true; x >= negative always.
+      const bool lower_ops = p.op == CmpOp::kLt || p.op == CmpOp::kLe ||
+                             p.op == CmpOp::kEq;
+      b.kind = lower_ops ? BoundPredicate::Kind::kNever
+                         : BoundPredicate::Kind::kAlways;
+      return b;
+    }
+    b.v1 = static_cast<std::uint64_t>(v);
+    switch (p.op) {
+      case CmpOp::kEq: b.kind = BoundPredicate::Kind::kEq; break;
+      case CmpOp::kLt: b.kind = BoundPredicate::Kind::kLt; break;
+      case CmpOp::kLe: b.kind = BoundPredicate::Kind::kLe; break;
+      case CmpOp::kGt: b.kind = BoundPredicate::Kind::kGt; break;
+      case CmpOp::kGe: b.kind = BoundPredicate::Kind::kGe; break;
+    }
+    return b;
+  }
+
+  // String column: range semantics via the order-preserving dictionary.
+  if (p.v1.kind != Literal::Kind::kString) {
+    fail("integer literal compared with string column '" + a.name + "'");
+  }
+  const rel::Dictionary& dict = *a.dict;
+  const std::uint64_t n = dict.size();
+  switch (p.op) {
+    case CmpOp::kEq: {
+      const auto code = dict.code(p.v1.str_value);
+      if (!code) {
+        b.kind = BoundPredicate::Kind::kNever;
+      } else {
+        b.kind = BoundPredicate::Kind::kEq;
+        b.v1 = *code;
+      }
+      return b;
+    }
+    case CmpOp::kLt: {
+      const std::uint64_t lb = dict.code_lower_bound(p.v1.str_value);
+      if (lb == 0) {
+        b.kind = BoundPredicate::Kind::kNever;
+      } else {
+        b.kind = BoundPredicate::Kind::kLt;
+        b.v1 = lb;
+      }
+      return b;
+    }
+    case CmpOp::kLe: {
+      const std::uint64_t ub = dict.code_upper_bound(p.v1.str_value);
+      if (ub == 0) {
+        b.kind = BoundPredicate::Kind::kNever;
+      } else if (ub >= n) {
+        b.kind = BoundPredicate::Kind::kAlways;
+      } else {
+        b.kind = BoundPredicate::Kind::kLt;
+        b.v1 = ub;
+      }
+      return b;
+    }
+    case CmpOp::kGt: {
+      const std::uint64_t ub = dict.code_upper_bound(p.v1.str_value);
+      if (ub >= n) {
+        b.kind = BoundPredicate::Kind::kNever;
+      } else {
+        b.kind = BoundPredicate::Kind::kGe;
+        b.v1 = ub;
+      }
+      return b;
+    }
+    case CmpOp::kGe: {
+      const std::uint64_t lb = dict.code_lower_bound(p.v1.str_value);
+      if (lb >= n) {
+        b.kind = BoundPredicate::Kind::kNever;
+      } else if (lb == 0) {
+        b.kind = BoundPredicate::Kind::kAlways;
+      } else {
+        b.kind = BoundPredicate::Kind::kGe;
+        b.v1 = lb;
+      }
+      return b;
+    }
+  }
+  fail("unreachable comparison");
+}
+
+BoundPredicate bind_between(const rel::Schema& schema, const Predicate& p) {
+  BoundPredicate b;
+  b.attr = resolve(schema, p.column);
+  const rel::Attribute& a = schema.attribute(b.attr);
+
+  std::uint64_t lo = 0, hi = 0;
+  if (a.type == rel::DataType::kInt) {
+    if (p.v1.kind != Literal::Kind::kInt || p.v2.kind != Literal::Kind::kInt) {
+      fail("BETWEEN bounds must be integers for column '" + a.name + "'");
+    }
+    if (p.v2.int_value < 0 || p.v2.int_value < p.v1.int_value) {
+      b.kind = BoundPredicate::Kind::kNever;
+      return b;
+    }
+    lo = p.v1.int_value < 0 ? 0 : static_cast<std::uint64_t>(p.v1.int_value);
+    hi = static_cast<std::uint64_t>(p.v2.int_value);
+  } else {
+    if (p.v1.kind != Literal::Kind::kString ||
+        p.v2.kind != Literal::Kind::kString) {
+      fail("BETWEEN bounds must be strings for column '" + a.name + "'");
+    }
+    const rel::Dictionary& dict = *a.dict;
+    const std::uint64_t lb = dict.code_lower_bound(p.v1.str_value);
+    const std::uint64_t ub = dict.code_upper_bound(p.v2.str_value);
+    if (lb >= ub) {
+      b.kind = BoundPredicate::Kind::kNever;
+      return b;
+    }
+    lo = lb;
+    hi = ub - 1;
+  }
+  if (lo == 0 && hi >= domain_max(a)) {
+    b.kind = BoundPredicate::Kind::kAlways;
+  } else {
+    b.kind = BoundPredicate::Kind::kBetween;
+    b.v1 = lo;
+    b.v2 = hi;
+  }
+  return b;
+}
+
+BoundPredicate bind_in(const rel::Schema& schema, const Predicate& p) {
+  BoundPredicate b;
+  b.attr = resolve(schema, p.column);
+  const rel::Attribute& a = schema.attribute(b.attr);
+  for (const Literal& lit : p.in_list) {
+    const auto code = bind_exact_literal(a, lit);
+    if (code) b.in_values.push_back(*code);
+  }
+  std::sort(b.in_values.begin(), b.in_values.end());
+  b.in_values.erase(std::unique(b.in_values.begin(), b.in_values.end()),
+                    b.in_values.end());
+  if (b.in_values.empty()) {
+    b.kind = BoundPredicate::Kind::kNever;
+  } else if (b.in_values.size() == 1) {
+    b.kind = BoundPredicate::Kind::kEq;
+    b.v1 = b.in_values[0];
+    b.in_values.clear();
+  } else {
+    b.kind = BoundPredicate::Kind::kIn;
+  }
+  return b;
+}
+
+}  // namespace
+
+BoundQuery bind(const SelectStmt& stmt, const rel::Schema& schema) {
+  BoundQuery q;
+
+  // WHERE conjunction.
+  for (const Predicate& p : stmt.where) {
+    switch (p.kind) {
+      case Predicate::Kind::kJoinEq:
+        q.join_predicates.emplace_back(p.column, p.join_right);
+        break;
+      case Predicate::Kind::kCmp:
+        q.filters.push_back(bind_cmp(schema, p));
+        break;
+      case Predicate::Kind::kBetween:
+        q.filters.push_back(bind_between(schema, p));
+        break;
+      case Predicate::Kind::kIn:
+        q.filters.push_back(bind_in(schema, p));
+        break;
+    }
+  }
+
+  // GROUP BY columns.
+  for (const std::string& col : stmt.group_by) {
+    q.group_by.push_back(resolve(schema, col));
+  }
+
+  // SELECT items: exactly one aggregate; plain columns must be grouped.
+  bool have_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.func == AggFunc::kNone) {
+      const std::size_t idx = resolve(schema, item.expr.col_a);
+      if (std::find(q.group_by.begin(), q.group_by.end(), idx) ==
+          q.group_by.end()) {
+        fail("column '" + item.expr.col_a + "' is not in GROUP BY");
+      }
+      continue;
+    }
+    if (have_agg) fail("only one aggregate per query is supported");
+    have_agg = true;
+    q.agg_func = item.func;
+    q.agg_alias = item.alias;
+    if (item.func == AggFunc::kCount && item.expr.col_a.empty()) {
+      q.agg_expr.kind = Expr::Kind::kColumn;  // COUNT(*): expr unused
+    } else {
+      q.agg_expr.kind = item.expr.kind;
+      q.agg_expr.a = resolve(schema, item.expr.col_a);
+      if (item.expr.kind != Expr::Kind::kColumn) {
+        q.agg_expr.b = resolve(schema, item.expr.col_b);
+      }
+    }
+  }
+  if (!have_agg) fail("query must contain an aggregate");
+
+  for (const OrderItem& item : stmt.order_by) {
+    BoundOrderItem bo;
+    bo.desc = item.desc;
+    if (!q.agg_alias.empty() && item.column == q.agg_alias) {
+      bo.is_agg = true;
+    } else {
+      const std::size_t idx = resolve(schema, item.column);
+      const auto it = std::find(q.group_by.begin(), q.group_by.end(), idx);
+      if (it == q.group_by.end()) {
+        fail("ORDER BY column '" + item.column + "' is not in GROUP BY");
+      }
+      bo.group_pos = static_cast<std::size_t>(it - q.group_by.begin());
+    }
+    q.order_by.push_back(bo);
+  }
+  return q;
+}
+
+}  // namespace bbpim::sql

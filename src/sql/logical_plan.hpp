@@ -1,0 +1,83 @@
+// Binding SQL to a schema: the logical query plan.
+//
+// The binder resolves column names against a relation schema (for the PIM
+// engine that is always the pre-joined relation), folds string literals to
+// order-preserving dictionary codes, and normalizes predicates so that the
+// back-ends (PIM filter compiler, columnar baseline, reference executor)
+// share one representation. Join-equality predicates are carried separately:
+// the pre-joined engines drop them (the join is materialized), the star-
+// schema baseline uses them to plan hash joins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "relational/schema.hpp"
+#include "sql/ast.hpp"
+
+namespace bbpim::sql {
+
+/// A normalized single-attribute predicate over dictionary codes.
+struct BoundPredicate {
+  enum class Kind : std::uint8_t {
+    kEq,
+    kLt,
+    kLe,
+    kGt,
+    kGe,
+    kBetween,  ///< v1 <= x <= v2
+    kIn,
+    kNever,    ///< statically false (e.g. literal outside the dictionary)
+    kAlways,   ///< statically true  (e.g. BETWEEN spanning the whole domain)
+  };
+  Kind kind = Kind::kAlways;
+  std::size_t attr = 0;
+  std::uint64_t v1 = 0;
+  std::uint64_t v2 = 0;
+  std::vector<std::uint64_t> in_values;
+
+  /// Evaluates against a record's attribute code (reference semantics that
+  /// the PIM micro-programs are tested against).
+  bool matches(std::uint64_t value) const;
+};
+
+/// The aggregated expression: a column, a product, or a difference.
+struct BoundAggExpr {
+  Expr::Kind kind = Expr::Kind::kColumn;
+  std::size_t a = 0;
+  std::size_t b = 0;  // kMul/kSub/kAdd only
+
+  /// Exact evaluation over attribute codes.
+  std::uint64_t eval(std::uint64_t va, std::uint64_t vb) const;
+};
+
+/// ORDER BY item: a group column (by index) or the aggregate value.
+struct BoundOrderItem {
+  bool is_agg = false;
+  std::size_t group_pos = 0;  ///< position within group_by (not attr index)
+  bool desc = false;
+};
+
+struct BoundQuery {
+  std::vector<BoundPredicate> filters;  ///< conjunction
+  std::vector<std::size_t> group_by;    ///< attr indices
+  AggFunc agg_func = AggFunc::kSum;
+  BoundAggExpr agg_expr;                ///< unused for COUNT(*)
+  std::vector<BoundOrderItem> order_by;
+  std::string agg_alias;
+
+  /// Join predicates in SQL text form (left/right column names), preserved
+  /// for the star-schema baseline planner.
+  std::vector<std::pair<std::string, std::string>> join_predicates;
+
+  bool has_group_by() const { return !group_by.empty(); }
+};
+
+/// Binds a parsed statement against the (pre-joined) schema.
+/// Throws std::invalid_argument for unknown columns, type mismatches, more
+/// than one aggregate, or aggregates mixed with non-grouped columns.
+BoundQuery bind(const SelectStmt& stmt, const rel::Schema& schema);
+
+}  // namespace bbpim::sql

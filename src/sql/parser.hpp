@@ -1,0 +1,14 @@
+// Recursive-descent parser for the SSB SQL subset.
+#pragma once
+
+#include <string_view>
+
+#include "sql/ast.hpp"
+
+namespace bbpim::sql {
+
+/// Parses one SELECT statement; throws std::invalid_argument with offset
+/// information on syntax errors.
+SelectStmt parse(std::string_view sql);
+
+}  // namespace bbpim::sql

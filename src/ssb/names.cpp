@@ -1,0 +1,99 @@
+#include "ssb/names.hpp"
+
+namespace bbpim::ssb {
+namespace {
+
+const char* const kColorList[] = {
+    "almond",    "antique",   "aquamarine", "azure",     "beige",
+    "bisque",    "black",     "blanched",   "blue",      "blush",
+    "brown",     "burlywood", "burnished",  "chartreuse", "chiffon",
+    "chocolate", "coral",     "cornflower", "cornsilk",  "cream",
+    "cyan",      "dark",      "deep",       "dim",       "dodger",
+    "drab",      "firebrick", "floral",     "forest",    "frosted",
+    "gainsboro", "ghost",     "goldenrod",  "green",     "grey",
+    "honeydew",  "hot",       "indian",     "ivory",     "khaki",
+    "lace",      "lavender",  "lawn",       "lemon",     "light",
+    "lime",      "linen",     "magenta",    "maroon",    "medium",
+    "metallic",  "midnight",  "mint",       "misty",     "moccasin",
+    "navajo",    "navy",      "olive",      "orange",    "orchid",
+    "pale",      "papaya",    "peach",      "peru",      "pink",
+    "plum",      "powder",    "puff",       "purple",    "red",
+    "rose",      "rosy",      "royal",      "saddle",    "salmon",
+    "sandy",     "seashell",  "sienna",     "sky",       "slate",
+    "smoke",     "snow",      "spring",     "steel",     "tan",
+    "thistle",   "tomato",    "turquoise",  "violet",    "wheat",
+    "white",     "yellow"};
+
+const char* const kTypeSyllable1[] = {"STANDARD", "SMALL",   "MEDIUM",
+                                      "LARGE",    "ECONOMY", "PROMO"};
+const char* const kTypeSyllable2[] = {"ANODIZED", "BURNISHED", "PLATED",
+                                      "POLISHED", "BRUSHED"};
+const char* const kTypeSyllable3[] = {"TIN", "NICKEL", "BRASS", "STEEL",
+                                      "COPPER"};
+
+const char* const kContainerSyllable1[] = {"SM", "LG", "MED", "JUMBO", "WRAP"};
+const char* const kContainerSyllable2[] = {"CASE", "BOX",  "BAG", "JAR",
+                                           "PKG",  "PACK", "CAN", "DRUM"};
+
+}  // namespace
+
+const std::vector<std::string>& part_colors() {
+  static const std::vector<std::string> colors(std::begin(kColorList),
+                                               std::end(kColorList));
+  return colors;
+}
+
+const std::vector<std::string>& part_types() {
+  static const std::vector<std::string> types = [] {
+    std::vector<std::string> out;
+    for (const char* s1 : kTypeSyllable1) {
+      for (const char* s2 : kTypeSyllable2) {
+        for (const char* s3 : kTypeSyllable3) {
+          out.push_back(std::string(s1) + " " + s2 + " " + s3);
+        }
+      }
+    }
+    return out;
+  }();
+  return types;
+}
+
+const std::vector<std::string>& part_containers() {
+  static const std::vector<std::string> containers = [] {
+    std::vector<std::string> out;
+    for (const char* s1 : kContainerSyllable1) {
+      for (const char* s2 : kContainerSyllable2) {
+        out.push_back(std::string(s1) + " " + s2);
+      }
+    }
+    return out;
+  }();
+  return containers;
+}
+
+std::string city_name(std::size_t rank) {
+  std::string prefix(kNations[city_nation(rank)].substr(0, 9));
+  prefix.resize(9, ' ');  // pad short nations to the fixed 9-char prefix
+  return prefix + static_cast<char>('0' + rank / 25);
+}
+
+std::vector<std::string> city_names() {
+  std::vector<std::string> out;
+  out.reserve(250);
+  for (std::size_t r = 0; r < 250; ++r) out.push_back(city_name(r));
+  return out;
+}
+
+std::string mfgr_name(std::size_t category) {
+  return "MFGR#" + std::to_string(category / 5 + 1);
+}
+
+std::string category_name(std::size_t category) {
+  return mfgr_name(category) + std::to_string(category % 5 + 1);
+}
+
+std::string brand_name(std::size_t rank) {
+  return category_name(rank % 25) + std::to_string(rank / 25 + 1);
+}
+
+}  // namespace bbpim::ssb

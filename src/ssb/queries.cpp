@@ -1,0 +1,132 @@
+#include "ssb/queries.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace bbpim::ssb {
+namespace {
+
+constexpr std::array<SsbQuery, 13> kQueries = {{
+    {"1.1",
+     "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+     "FROM lineorder, date "
+     "WHERE lo_orderdate = d_datekey AND d_year = 1993 "
+     "AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25;",
+     2.3e-2, 1},
+    {"1.2",
+     "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+     "FROM lineorder, date "
+     "WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401 "
+     "AND lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35;",
+     6.6e-4, 1},
+    {"1.3",
+     "SELECT SUM(lo_extendedprice * lo_discount) AS revenue "
+     "FROM lineorder, date "
+     "WHERE lo_orderdate = d_datekey AND d_weeknuminyear = 6 AND d_year = 1994 "
+     "AND lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35;",
+     8.4e-5, 1},
+    {"2.1",
+     "SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1 "
+     "FROM lineorder, date, part, supplier "
+     "WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey "
+     "AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' "
+     "AND s_region = 'AMERICA' "
+     "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1;",
+     1.2e-2, 280},
+    {"2.2",
+     "SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1 "
+     "FROM lineorder, date, part, supplier "
+     "WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey "
+     "AND lo_suppkey = s_suppkey "
+     "AND p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228' AND s_region = 'ASIA' "
+     "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1;",
+     1.6e-3, 56},
+    {"2.3",
+     "SELECT SUM(lo_revenue) AS revenue, d_year, p_brand1 "
+     "FROM lineorder, date, part, supplier "
+     "WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey "
+     "AND lo_suppkey = s_suppkey AND p_brand1 = 'MFGR#2221' "
+     "AND s_region = 'EUROPE' "
+     "GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1;",
+     2e-4, 7},
+    {"3.1",
+     "SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue "
+     "FROM customer, lineorder, supplier, date "
+     "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+     "AND lo_orderdate = d_datekey AND c_region = 'ASIA' "
+     "AND s_region = 'ASIA' AND d_year >= 1992 AND d_year <= 1997 "
+     "GROUP BY c_nation, s_nation, d_year "
+     "ORDER BY d_year ASC, revenue DESC;",
+     3.4e-2, 150},
+    {"3.2",
+     "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue "
+     "FROM customer, lineorder, supplier, date "
+     "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+     "AND lo_orderdate = d_datekey AND c_nation = 'UNITED STATES' "
+     "AND s_nation = 'UNITED STATES' AND d_year >= 1992 AND d_year <= 1997 "
+     "GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC;",
+     1.3e-3, 600},
+    {"3.3",
+     "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue "
+     "FROM customer, lineorder, supplier, date "
+     "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+     "AND lo_orderdate = d_datekey "
+     "AND c_city IN ('UNITED KI1', 'UNITED KI5') "
+     "AND s_city IN ('UNITED KI1', 'UNITED KI5') "
+     "AND d_year >= 1992 AND d_year <= 1997 "
+     "GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC;",
+     4.7e-5, 24},
+    {"3.4",
+     "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue "
+     "FROM customer, lineorder, supplier, date "
+     "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+     "AND lo_orderdate = d_datekey "
+     "AND c_city IN ('UNITED KI1', 'UNITED KI5') "
+     "AND s_city IN ('UNITED KI1', 'UNITED KI5') AND d_yearmonth = 'Dec1997' "
+     "GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC;",
+     6.6e-7, 4},
+    {"4.1",
+     "SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit "
+     "FROM date, customer, supplier, part, lineorder "
+     "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+     "AND lo_partkey = p_partkey AND lo_orderdate = d_datekey "
+     "AND c_region = 'AMERICA' AND s_region = 'AMERICA' "
+     "AND p_mfgr IN ('MFGR#1', 'MFGR#2') "
+     "GROUP BY d_year, c_nation ORDER BY d_year, c_nation;",
+     2e-2, 35},
+    {"4.2",
+     "SELECT d_year, s_nation, p_category, "
+     "SUM(lo_revenue - lo_supplycost) AS profit "
+     "FROM date, customer, supplier, part, lineorder "
+     "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+     "AND lo_partkey = p_partkey AND lo_orderdate = d_datekey "
+     "AND c_region = 'AMERICA' AND s_region = 'AMERICA' "
+     "AND d_year IN (1997, 1998) AND p_mfgr IN ('MFGR#1', 'MFGR#2') "
+     "GROUP BY d_year, s_nation, p_category "
+     "ORDER BY d_year, s_nation, p_category;",
+     2.3e-3, 50},
+    {"4.3",
+     "SELECT d_year, s_city, p_brand1, "
+     "SUM(lo_revenue - lo_supplycost) AS profit "
+     "FROM date, customer, supplier, part, lineorder "
+     "WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey "
+     "AND lo_partkey = p_partkey AND lo_orderdate = d_datekey "
+     "AND s_nation = 'UNITED STATES' AND d_year IN (1997, 1998) "
+     "AND p_category = 'MFGR#14' "
+     "GROUP BY d_year, s_city, p_brand1 ORDER BY d_year, s_city, p_brand1;",
+     9.1e-5, 800},
+}};
+
+}  // namespace
+
+std::span<const SsbQuery> queries() { return kQueries; }
+
+const SsbQuery& query(std::string_view id) {
+  for (const SsbQuery& q : kQueries) {
+    if (q.id == id) return q;
+  }
+  throw std::out_of_range("unknown SSB query " + std::string(id));
+}
+
+}  // namespace bbpim::ssb

@@ -1,0 +1,120 @@
+// Tests for the per-crossbar aggregation circuit (Fig. 3): functional
+// SUM/MIN/MAX with select masking, count reporting, result write-back, and
+// the read/write cost accounting.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pim/agg_circuit.hpp"
+#include "pim/config.hpp"
+#include "pim/crossbar.hpp"
+
+namespace bbpim::pim {
+namespace {
+
+class AggCircuitTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint32_t kRows = 256;
+  PimConfig cfg_;
+  Crossbar xb_{kRows, 128};
+  Field value_{0, 20};
+  std::uint16_t select_ = 64;
+  Field result_{80, 30};
+  Field count_{112, 9};
+
+  std::vector<std::uint64_t> populate(double select_ratio, Rng& rng) {
+    std::vector<std::uint64_t> selected;
+    for (std::uint32_t r = 0; r < kRows; ++r) {
+      const std::uint64_t v = rng.next_below(1ULL << 20);
+      xb_.write_row_bits(r, value_.offset, value_.width, v);
+      const bool sel = rng.next_double() < select_ratio;
+      xb_.set_bit(r, select_, sel);
+      if (sel) selected.push_back(v);
+    }
+    return selected;
+  }
+};
+
+TEST_F(AggCircuitTest, SumMatchesScalarAndWritesBack) {
+  Rng rng(1);
+  const auto selected = populate(0.4, rng);
+  std::uint64_t expected = 0;
+  for (const std::uint64_t v : selected) expected += v;
+
+  AggCircuitCost cost;
+  const std::uint64_t got = run_agg_circuit(
+      xb_, value_, select_, AggOp::kSum, result_, 0, cfg_, &cost, &count_);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(xb_.read_row_bits(0, result_.offset, result_.width),
+            expected & ((1ULL << 30) - 1));
+  EXPECT_EQ(xb_.read_row_bits(0, count_.offset, count_.width),
+            selected.size());
+}
+
+TEST_F(AggCircuitTest, MinMaxMatchScalar) {
+  Rng rng(2);
+  const auto selected = populate(0.3, rng);
+  ASSERT_FALSE(selected.empty());
+  std::uint64_t mn = ~0ULL, mx = 0;
+  for (const std::uint64_t v : selected) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_EQ(run_agg_circuit(xb_, value_, select_, AggOp::kMin, result_, 0,
+                            cfg_, nullptr),
+            mn);
+  EXPECT_EQ(run_agg_circuit(xb_, value_, select_, AggOp::kMax, result_, 0,
+                            cfg_, nullptr),
+            mx);
+}
+
+TEST_F(AggCircuitTest, EmptySelectionSentinels) {
+  Rng rng(3);
+  populate(0.0, rng);
+  std::uint64_t count = 77;
+  EXPECT_EQ(compute_aggregate(xb_, value_, select_, AggOp::kSum, &count), 0u);
+  EXPECT_EQ(count, 0u);
+  EXPECT_EQ(compute_aggregate(xb_, value_, select_, AggOp::kMin, nullptr),
+            (1ULL << 20) - 1);
+  EXPECT_EQ(compute_aggregate(xb_, value_, select_, AggOp::kMax, nullptr), 0u);
+}
+
+TEST_F(AggCircuitTest, CostModelCountsReads) {
+  Rng rng(4);
+  populate(0.5, rng);
+  AggCircuitCost cost;
+  run_agg_circuit(xb_, value_, select_, AggOp::kSum, result_, 0, cfg_, &cost);
+  // value spans 2 chunks (bits 0..19); select column = rows/16 reads.
+  EXPECT_EQ(cost.value_reads, kRows * 2);
+  EXPECT_EQ(cost.select_reads, kRows / cfg_.read_bits);
+  EXPECT_EQ(cost.result_writes, chunk_span(result_, cfg_));
+  EXPECT_GT(cost.duration_ns, 0.0);
+  EXPECT_GT(cost.energy_j, 0.0);
+
+  // Adding the count output costs extra result chunks.
+  AggCircuitCost cost2;
+  run_agg_circuit(xb_, value_, select_, AggOp::kSum, result_, 0, cfg_, &cost2,
+                  &count_);
+  EXPECT_GT(cost2.result_writes, cost.result_writes);
+}
+
+TEST(ChunkSpan, HonestForMisalignedFields) {
+  PimConfig cfg;
+  EXPECT_EQ(chunk_span(Field{0, 16}, cfg), 1u);
+  EXPECT_EQ(chunk_span(Field{0, 17}, cfg), 2u);
+  EXPECT_EQ(chunk_span(Field{15, 2}, cfg), 2u);  // straddles a boundary
+  EXPECT_EQ(chunk_span(Field{16, 16}, cfg), 1u);
+  EXPECT_EQ(chunk_span(Field{8, 32}, cfg), 3u);
+}
+
+TEST(AggCircuit, RejectsBadWidths) {
+  PimConfig cfg;
+  Crossbar xb(64, 32);
+  EXPECT_THROW(run_agg_circuit(xb, Field{0, 0}, 1, AggOp::kSum, Field{8, 8}, 0,
+                               cfg, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(compute_aggregate(xb, Field{0, 0}, 1, AggOp::kSum, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbpim::pim

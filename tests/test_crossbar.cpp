@@ -1,0 +1,101 @@
+// Unit tests for the crossbar functional model: column logic, row access,
+// and wear accounting.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pim/crossbar.hpp"
+
+namespace bbpim::pim {
+namespace {
+
+TEST(Crossbar, ConstructionValidation) {
+  EXPECT_THROW(Crossbar(0, 8), std::invalid_argument);
+  EXPECT_THROW(Crossbar(100, 8), std::invalid_argument);  // not multiple of 64
+  Crossbar xb(128, 32);
+  EXPECT_EQ(xb.rows(), 128u);
+  EXPECT_EQ(xb.cols(), 32u);
+}
+
+TEST(Crossbar, RowReadWriteRoundTrip) {
+  Crossbar xb(128, 64);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint32_t row = static_cast<std::uint32_t>(rng.next_below(128));
+    const std::uint32_t width = 1 + static_cast<std::uint32_t>(rng.next_below(40));
+    const std::uint32_t offset =
+        static_cast<std::uint32_t>(rng.next_below(64 - width));
+    const std::uint64_t value = rng.next_u64() & ((width >= 64) ? ~0ULL : ((1ULL << width) - 1));
+    xb.write_row_bits(row, offset, width, value);
+    EXPECT_EQ(xb.read_row_bits(row, offset, width), value);
+  }
+}
+
+TEST(Crossbar, RowAccessBoundsChecked) {
+  Crossbar xb(64, 16);
+  EXPECT_THROW(xb.read_row_bits(64, 0, 4), std::out_of_range);
+  EXPECT_THROW(xb.read_row_bits(0, 14, 4), std::out_of_range);
+  EXPECT_THROW(xb.write_row_bits(0, 0, 0, 0), std::out_of_range);
+}
+
+TEST(Crossbar, MicroOpsComputeExactly) {
+  Crossbar xb(64, 8);
+  // Set column 0 = pattern A, column 1 = pattern B via row writes.
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    xb.set_bit(r, 0, (r % 2) == 0);
+    xb.set_bit(r, 1, (r % 3) == 0);
+  }
+  xb.execute(MicroOp::init1(2));
+  xb.execute(MicroOp::nor_op(0, 1, 2));
+  xb.execute(MicroOp::init1(3));
+  xb.execute(MicroOp::not_op(0, 3));
+  xb.execute(MicroOp::init0(4));
+  for (std::uint32_t r = 0; r < 64; ++r) {
+    const bool a = (r % 2) == 0;
+    const bool b = (r % 3) == 0;
+    EXPECT_EQ(xb.bit(r, 2), !(a || b)) << "row " << r;
+    EXPECT_EQ(xb.bit(r, 3), !a) << "row " << r;
+    EXPECT_FALSE(xb.bit(r, 4));
+  }
+}
+
+TEST(Crossbar, ColumnSnapshotMatchesBits) {
+  Crossbar xb(128, 4);
+  for (std::uint32_t r = 0; r < 128; r += 5) xb.set_bit(r, 2, true);
+  const BitVec col = xb.column(2);
+  EXPECT_EQ(col.size(), 128u);
+  for (std::uint32_t r = 0; r < 128; ++r) {
+    EXPECT_EQ(col.get(r), (r % 5) == 0);
+  }
+}
+
+TEST(Crossbar, WriteColumnRoundTrip) {
+  Crossbar xb(128, 4);
+  BitVec bits(128);
+  for (std::uint32_t r = 0; r < 128; r += 3) bits.set(r, true);
+  xb.write_column(1, bits);
+  EXPECT_EQ(xb.column(1), bits);
+  BitVec wrong(64);
+  EXPECT_THROW(xb.write_column(1, wrong), std::invalid_argument);
+}
+
+TEST(Crossbar, WearAccounting) {
+  Crossbar xb(64, 8);
+  EXPECT_EQ(xb.max_row_writes(), 0u);
+  // Every micro-op writes its output column once per row.
+  xb.execute(MicroOp::init1(2));
+  xb.execute(MicroOp::not_op(0, 2));
+  EXPECT_EQ(xb.uniform_row_writes(), 2u);
+  // Row writes add per-row extras.
+  xb.write_row_bits(5, 0, 4, 0xF);
+  EXPECT_EQ(xb.max_extra_row_writes(), 4u);
+  EXPECT_EQ(xb.max_row_writes(), 6u);
+  // Column writes and explicit uniform wear.
+  xb.write_column(3, BitVec(64));
+  xb.add_uniform_wear(10);
+  EXPECT_EQ(xb.uniform_row_writes(), 13u);
+  xb.reset_wear();
+  EXPECT_EQ(xb.max_row_writes(), 0u);
+}
+
+}  // namespace
+}  // namespace bbpim::pim

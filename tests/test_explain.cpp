@@ -1,0 +1,84 @@
+// Tests for the EXPLAIN facility and the micro-program disassembler.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/explain.hpp"
+#include "engine_test_util.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+TEST(Disassemble, RendersEveryOpKind) {
+  pim::MicroProgram prog = {
+      pim::MicroOp::init1(200),
+      pim::MicroOp::nor_op(3, 7, 200),
+      pim::MicroOp::init0(201),
+      pim::MicroOp::not_op(200, 201),
+  };
+  std::ostringstream os;
+  disassemble(prog, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("INIT1"), std::string::npos);
+  EXPECT_NE(s.find("INIT0"), std::string::npos);
+  EXPECT_NE(s.find("NOR"), std::string::npos);
+  EXPECT_NE(s.find("NOT"), std::string::npos);
+  EXPECT_NE(s.find("-> c200"), std::string::npos);
+  EXPECT_NE(s.find("-> c201"), std::string::npos);
+  // One line per op.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Explain, OneXbPlanMentionsEverything) {
+  testutil::EngineFixture fx(EngineKind::kOneXb, 300, 90);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT f_gid, SUM(f_val * f_val2) AS x FROM t "
+      "WHERE f_key BETWEEN 100 AND 3000 AND d_tag IN (1, 2) "
+      "GROUP BY f_gid ORDER BY f_gid");
+  const std::string plan = explain_query(q, *fx.store);
+  EXPECT_NE(plan.find("one-xb"), std::string::npos);
+  EXPECT_NE(plan.find("FILTER part 0: 2 predicate(s)"), std::string::npos);
+  EXPECT_NE(plan.find("100 <= f_key <= 3000"), std::string::npos);
+  EXPECT_NE(plan.find("d_tag IN {1,2}"), std::string::npos);
+  EXPECT_NE(plan.find("masked passes"), std::string::npos);
+  EXPECT_NE(plan.find("GROUP BY: f_gid"), std::string::npos);
+  EXPECT_NE(plan.find("Equation 3"), std::string::npos);
+  EXPECT_EQ(plan.find("TRANSFER"), std::string::npos);  // one part
+}
+
+TEST(Explain, TwoXbPlanShowsTransferAndParts) {
+  testutil::EngineFixture fx(EngineKind::kTwoXb, 300, 91);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT d_tag, SUM(f_val) AS s FROM t WHERE f_key < 1000 AND d_tag > 1 "
+      "GROUP BY d_tag");
+  const std::string plan = explain_query(q, *fx.store);
+  EXPECT_NE(plan.find("two-xb"), std::string::npos);
+  EXPECT_NE(plan.find("FILTER part 0: 1 predicate(s)"), std::string::npos);
+  EXPECT_NE(plan.find("FILTER part 1: 1 predicate(s)"), std::string::npos);
+  EXPECT_NE(plan.find("TRANSFER"), std::string::npos);
+  EXPECT_NE(plan.find("d_tag(part 1)"), std::string::npos);
+}
+
+TEST(Explain, NoGroupByAndLinearity) {
+  testutil::EngineFixture fx(EngineKind::kOneXb, 300, 92);
+  const sql::BoundQuery q =
+      fx.bind_sql("SELECT SUM(f_val - f_val2) AS d FROM t");
+  const std::string plan = explain_query(q, *fx.store);
+  EXPECT_NE(plan.find("2 passes by linearity"), std::string::npos);
+  EXPECT_NE(plan.find("NO GROUP BY"), std::string::npos);
+}
+
+TEST(Explain, CountAndMin) {
+  testutil::EngineFixture fx(EngineKind::kOneXb, 300, 93);
+  const std::string count_plan = explain_query(
+      fx.bind_sql("SELECT COUNT(*) AS c FROM t WHERE f_key < 10"), *fx.store);
+  EXPECT_NE(count_plan.find("COUNT via SUM of the select column"),
+            std::string::npos);
+  const std::string min_plan = explain_query(
+      fx.bind_sql("SELECT f_gid, MIN(f_val) AS m FROM t GROUP BY f_gid"),
+      *fx.store);
+  EXPECT_NE(min_plan.find("MIN(f_val): 1 circuit pass"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bbpim::engine

@@ -1,0 +1,127 @@
+// Cross-cutting engine invariants: determinism, per-execution isolation of
+// the cost trackers, read-amplification accounting across parts, and
+// scaling sanity.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.hpp"
+#include "engine_test_util.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+TEST(Invariants, RepeatedExecutionIsDeterministic) {
+  testutil::EngineFixture fx(EngineKind::kOneXb, 800, 201);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT f_gid, SUM(f_val) AS s FROM t WHERE f_key < 2000 "
+      "GROUP BY f_gid ORDER BY f_gid");
+  ExecOptions opts;
+  opts.force_k = 2;
+  const QueryOutput a = fx.engine->execute(q, opts);
+  const QueryOutput b = fx.engine->execute(q, opts);
+  // Same rows, same simulated costs: no hidden state leaks between runs
+  // (wear counters reset, scratch columns released, clock rebased).
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_EQ(a.rows[i].agg, b.rows[i].agg);
+  }
+  EXPECT_DOUBLE_EQ(a.stats.total_ns, b.stats.total_ns);
+  EXPECT_DOUBLE_EQ(a.stats.energy_j, b.stats.energy_j);
+  EXPECT_DOUBLE_EQ(a.stats.peak_chip_w, b.stats.peak_chip_w);
+  EXPECT_EQ(a.stats.wear_row_writes, b.stats.wear_row_writes);
+  EXPECT_EQ(a.stats.host_lines, b.stats.host_lines);
+  EXPECT_EQ(a.stats.pim_requests, b.stats.pim_requests);
+}
+
+TEST(Invariants, ScratchColumnsFullyReleased) {
+  // After any execution, a fresh allocator over the same layout must find
+  // the whole scratch region free (the executor released everything).
+  testutil::EngineFixture fx(EngineKind::kOneXb, 500, 202);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT f_gid, SUM(f_val * f_val2) AS s FROM t WHERE f_val2 > 5 "
+      "GROUP BY f_gid");
+  ExecOptions opts;
+  opts.force_k = 3;
+  fx.engine->execute(q, opts);
+  pim::ColumnAlloc alloc = fx.store->layout(0).make_alloc();
+  EXPECT_EQ(alloc.available(),
+            static_cast<std::size_t>(fx.store->layout(0).scratch_cols()));
+}
+
+TEST(Invariants, TwoXbCostIsTransferNotHostLines) {
+  // host-gb line counts are chunk-count-driven: splitting the record across
+  // parts moves chunks to other pages but does not change how many unique
+  // lines the host touches per record. The two-xb penalty is the inter-part
+  // bit-column transfer, not host-gb amplification.
+  QueryStats one, two;
+  {
+    testutil::EngineFixture fx(EngineKind::kOneXb, 900, 203);
+    const sql::BoundQuery q = fx.bind_sql(
+        "SELECT d_tag, SUM(f_val) AS s FROM t WHERE f_key < 2500 "
+        "GROUP BY d_tag");
+    ExecOptions opts;
+    opts.force_k = 0;
+    one = fx.engine->execute(q, opts).stats;
+  }
+  {
+    testutil::EngineFixture fx(EngineKind::kTwoXb, 900, 203);
+    const sql::BoundQuery q = fx.bind_sql(
+        "SELECT d_tag, SUM(f_val) AS s FROM t WHERE f_key < 2500 "
+        "GROUP BY d_tag");
+    ExecOptions opts;
+    opts.force_k = 0;
+    two = fx.engine->execute(q, opts).stats;
+  }
+  EXPECT_GT(one.host_lines, 0u);
+  EXPECT_EQ(two.host_lines, one.host_lines);
+  EXPECT_DOUBLE_EQ(one.phases.transfer, 0.0);
+  EXPECT_GT(two.phases.transfer, 0.0);
+  EXPECT_GT(two.total_ns, one.total_ns);
+}
+
+TEST(Invariants, CostsGrowWithRelationSize) {
+  // Same query on 2x the records: more pages, more time, more energy.
+  QueryStats small, big;
+  {
+    testutil::EngineFixture fx(EngineKind::kOneXb, 500, 204);
+    const sql::BoundQuery q =
+        fx.bind_sql("SELECT SUM(f_val) AS s FROM t WHERE f_key < 2000");
+    small = fx.engine->execute(q).stats;
+  }
+  {
+    testutil::EngineFixture fx(EngineKind::kOneXb, 1000, 204);
+    const sql::BoundQuery q =
+        fx.bind_sql("SELECT SUM(f_val) AS s FROM t WHERE f_key < 2000");
+    big = fx.engine->execute(q).stats;
+  }
+  EXPECT_GT(big.total_ns, small.total_ns);
+  EXPECT_GT(big.energy_j, small.energy_j);
+}
+
+TEST(Invariants, SkipHostGbLeavesPartialResults) {
+  // skip_host_gb is a measurement mode: only the k pim-gb groups appear.
+  testutil::EngineFixture fx(EngineKind::kOneXb, 800, 205);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT f_gid, SUM(f_val) AS s FROM t GROUP BY f_gid ORDER BY f_gid");
+  ExecOptions opts;
+  opts.force_k = 2;
+  opts.skip_host_gb = true;
+  const QueryOutput out = fx.engine->execute(q, opts);
+  EXPECT_LE(out.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.stats.phases.host_gb, 0.0);
+}
+
+TEST(Invariants, SelectivityConsistency) {
+  // stats.selectivity is exactly selected/total, and matches the reference.
+  testutil::EngineFixture fx(EngineKind::kPimdb, 700, 206);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT SUM(f_val) AS s FROM t WHERE f_key BETWEEN 500 AND 1500");
+  const QueryOutput out = fx.engine->execute(q);
+  const auto ref = baseline::scan_execute(*fx.table, q);
+  EXPECT_EQ(out.stats.selected_records, ref.selected_records);
+  EXPECT_DOUBLE_EQ(
+      out.stats.selectivity,
+      static_cast<double>(ref.selected_records) / fx.table->row_count());
+}
+
+}  // namespace
+}  // namespace bbpim::engine

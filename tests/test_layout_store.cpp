@@ -1,0 +1,116 @@
+// Tests for the record layout and the PIM-resident store (loading,
+// partitioning, validity bits, distinct stats).
+#include <gtest/gtest.h>
+
+#include "engine_test_util.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+using testutil::make_synthetic_table;
+using testutil::small_pim_config;
+
+TEST(RecordLayout, PacksDenselyAndReservesValidity) {
+  const rel::Table t = make_synthetic_table(10, 1);
+  const pim::PimConfig cfg = small_pim_config();
+  const std::vector<std::size_t> all = {0, 1, 2, 3, 4};
+  const RecordLayout l = RecordLayout::build(t.schema(), all, cfg);
+  EXPECT_EQ(l.field(0).offset, 0u);
+  EXPECT_EQ(l.field(0).width, 12u);
+  EXPECT_EQ(l.field(1).offset, 12u);
+  // valid bit right after the data, scratch after that.
+  EXPECT_EQ(l.valid_col(), t.schema().record_bits());
+  EXPECT_EQ(l.scratch_begin(), l.valid_col() + 1);
+  EXPECT_TRUE(l.has(3));
+  EXPECT_THROW(l.field(99), std::out_of_range);
+
+  const std::vector<std::size_t> subset = {1, 4};
+  const RecordLayout part = RecordLayout::build(t.schema(), subset, cfg);
+  EXPECT_TRUE(part.has(4));
+  EXPECT_FALSE(part.has(0));
+}
+
+TEST(RecordLayout, OverflowThrows) {
+  pim::PimConfig cfg = small_pim_config();
+  cfg.crossbar_cols = 16;  // too small for the 35-bit record
+  const rel::Table t = make_synthetic_table(1, 1);
+  const std::vector<std::size_t> all = {0, 1, 2, 3, 4};
+  EXPECT_THROW(RecordLayout::build(t.schema(), all, cfg), std::runtime_error);
+}
+
+TEST(PimStoreTest, LoadRoundTripOneXb) {
+  pim::PimModule module(small_pim_config());
+  const rel::Table t = make_synthetic_table(600, 2);  // 2.34 pages
+  PimStore store(module, t);
+  EXPECT_EQ(store.parts(), 1);
+  EXPECT_EQ(store.record_count(), 600u);
+  EXPECT_EQ(store.records_per_page(), 256u);
+  EXPECT_EQ(store.pages_per_part(), 3u);
+  EXPECT_EQ(store.page_records(0), 256u);
+  EXPECT_EQ(store.page_records(2), 88u);  // tail page partial
+
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::size_t r = rng.next_below(600);
+    const std::size_t a = rng.next_below(5);
+    EXPECT_EQ(store.read_attr(r, a), t.value(r, a)) << r << "," << a;
+  }
+
+  // Validity bits: set for real records, clear for padding.
+  const RecordLayout& l = store.layout(0);
+  pim::Page& tail = store.page(0, 2);
+  const auto c_valid = tail.locate(87);
+  const auto c_pad = tail.locate(88);
+  EXPECT_EQ(tail.crossbar(c_valid.crossbar)
+                .read_row_bits(c_valid.row, l.valid_col(), 1),
+            1u);
+  EXPECT_EQ(
+      tail.crossbar(c_pad.crossbar).read_row_bits(c_pad.row, l.valid_col(), 1),
+      0u);
+}
+
+TEST(PimStoreTest, TwoCrossbarPartitioning) {
+  pim::PimModule module(small_pim_config());
+  const rel::Table t = make_synthetic_table(300, 4);
+  PimStore::Options opt;
+  opt.two_crossbar = true;
+  opt.part_of = [](const std::string& name) {
+    return name.rfind("f_", 0) == 0 ? 0 : 1;
+  };
+  PimStore store(module, t, opt);
+  EXPECT_EQ(store.parts(), 2);
+  EXPECT_EQ(store.part_of_attr(0), 0);  // f_key
+  EXPECT_EQ(store.part_of_attr(4), 1);  // d_tag
+  EXPECT_EQ(store.pages_per_part(), 2u);
+  EXPECT_EQ(module.page_count(), 4u);  // 2 pages per part
+
+  // Both parts answer functional reads; coordinates align across parts.
+  for (std::size_t r : {0u, 255u, 256u, 299u}) {
+    EXPECT_EQ(store.read_attr(r, 0), t.value(r, 0));
+    EXPECT_EQ(store.read_attr(r, 4), t.value(r, 4));
+  }
+}
+
+TEST(PimStoreTest, DistinctStats) {
+  pim::PimModule module(small_pim_config());
+  const rel::Table t = make_synthetic_table(500, 5);
+  PimStore::Options opt;
+  opt.max_distinct = 8;
+  PimStore store(module, t, opt);
+  // d_tag has 7 distinct values (gid % 7) — under the cap.
+  const auto& tags = store.distinct_values(4);
+  ASSERT_TRUE(tags.has_value());
+  EXPECT_LE(tags->size(), 7u);
+  EXPECT_TRUE(std::is_sorted(tags->begin(), tags->end()));
+  // f_key has hundreds of distinct values — capped out.
+  EXPECT_FALSE(store.distinct_values(0).has_value());
+}
+
+TEST(PimStoreTest, RejectsEmptyRelation) {
+  pim::PimModule module(small_pim_config());
+  rel::Table t(rel::Schema({{"a", rel::DataType::kInt, 4, nullptr}}), "empty");
+  EXPECT_THROW(PimStore(module, t), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbpim::engine

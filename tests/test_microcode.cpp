@@ -1,0 +1,418 @@
+// Property tests for the NOR-only micro-program builders.
+//
+// Every predicate and arithmetic builder is checked bit-exactly against
+// scalar semantics on randomized crossbar contents, across a sweep of field
+// widths. Scratch-column hygiene (no leaks, no double releases) is asserted
+// after every program — this is what catches ownership bugs in the
+// constant-folded adder/multiplier emitters.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pim/crossbar.hpp"
+#include "pim/microcode.hpp"
+
+namespace bbpim::pim {
+namespace {
+
+constexpr std::uint32_t kRows = 128;
+constexpr std::uint32_t kCols = 256;
+constexpr std::uint16_t kScratchBegin = 128;
+
+std::uint64_t field_mask(std::uint16_t width) {
+  return width >= 64 ? ~0ULL : (1ULL << width) - 1;
+}
+
+class MicrocodeFixture {
+ public:
+  MicrocodeFixture() : xb_(kRows, kCols), alloc_(kScratchBegin, kCols) {}
+
+  /// Fills a field with random values; returns the per-row values.
+  std::vector<std::uint64_t> fill(const Field& f, Rng& rng) {
+    std::vector<std::uint64_t> vals(kRows);
+    for (std::uint32_t r = 0; r < kRows; ++r) {
+      vals[r] = rng.next_u64() & field_mask(f.width);
+      xb_.write_row_bits(r, f.offset, f.width, vals[r]);
+    }
+    return vals;
+  }
+
+  /// Runs a built program and checks the result column against a predicate.
+  void check_column(ProgramBuilder& pb, std::uint16_t result_col,
+                    const std::vector<bool>& expected) {
+    xb_.execute(pb.program());
+    for (std::uint32_t r = 0; r < kRows; ++r) {
+      ASSERT_EQ(xb_.bit(r, result_col), expected[r]) << "row " << r;
+    }
+  }
+
+  Crossbar xb_;
+  ColumnAlloc alloc_;
+};
+
+// ---------------------------------------------------------------------------
+// ColumnAlloc
+// ---------------------------------------------------------------------------
+
+TEST(ColumnAlloc, AllocReleaseCycle) {
+  ColumnAlloc alloc(10, 20);
+  EXPECT_EQ(alloc.available(), 10u);
+  const std::uint16_t a = alloc.alloc();
+  const std::uint16_t b = alloc.alloc();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(alloc.available(), 8u);
+  alloc.release(a);
+  EXPECT_EQ(alloc.available(), 9u);
+  EXPECT_THROW(alloc.release(a), std::logic_error);   // double release
+  EXPECT_THROW(alloc.release(5), std::out_of_range);  // not scratch
+}
+
+TEST(ColumnAlloc, ExhaustionThrows) {
+  ColumnAlloc alloc(0, 2);
+  alloc.alloc();
+  alloc.alloc();
+  EXPECT_THROW(alloc.alloc(), std::runtime_error);
+}
+
+TEST(ColumnAlloc, ContiguousFieldAllocation) {
+  ColumnAlloc alloc(0, 16);
+  const Field f = alloc.alloc_field(8);
+  EXPECT_EQ(f.width, 8u);
+  EXPECT_EQ(alloc.available(), 8u);
+  alloc.release_field(f);
+  EXPECT_EQ(alloc.available(), 16u);
+  EXPECT_THROW(alloc.alloc_field(17), std::runtime_error);
+}
+
+TEST(ColumnAlloc, AlignedChunk) {
+  ColumnAlloc alloc(5, 64);
+  const Field c = alloc.alloc_aligned_chunk(16);
+  EXPECT_EQ(c.offset % 16, 0u);
+  EXPECT_EQ(c.width, 16u);
+  EXPECT_GE(c.offset, 5u);
+  alloc.release_field(c);
+}
+
+// ---------------------------------------------------------------------------
+// Gate-level truth tables
+// ---------------------------------------------------------------------------
+
+TEST(Gates, TruthTables) {
+  MicrocodeFixture fx;
+  // Columns 0 and 1 carry all four input combinations across rows.
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    fx.xb_.set_bit(r, 0, (r & 1) != 0);
+    fx.xb_.set_bit(r, 1, (r & 2) != 0);
+  }
+  ProgramBuilder pb(fx.alloc_);
+  const std::uint16_t c_and = pb.emit_and(0, 1);
+  const std::uint16_t c_or = pb.emit_or(0, 1);
+  const std::uint16_t c_xor = pb.emit_xor(0, 1);
+  const std::uint16_t c_xnor = pb.emit_xnor(0, 1);
+  const std::uint16_t c_andnot = pb.emit_andnot(0, 1);
+  const std::uint16_t c_not = pb.emit_not(0);
+  const std::uint16_t c_copy = pb.emit_copy(1);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const bool a = (r & 1) != 0;
+    const bool b = (r & 2) != 0;
+    EXPECT_EQ(fx.xb_.bit(r, c_and), a && b);
+    EXPECT_EQ(fx.xb_.bit(r, c_or), a || b);
+    EXPECT_EQ(fx.xb_.bit(r, c_xor), a != b);
+    EXPECT_EQ(fx.xb_.bit(r, c_xnor), a == b);
+    EXPECT_EQ(fx.xb_.bit(r, c_andnot), a && !b);
+    EXPECT_EQ(fx.xb_.bit(r, c_not), !a);
+    EXPECT_EQ(fx.xb_.bit(r, c_copy), b);
+  }
+  for (std::uint16_t c : {c_and, c_or, c_xor, c_xnor, c_andnot, c_not, c_copy}) {
+    pb.release(c);
+  }
+  EXPECT_EQ(fx.alloc_.available(), kCols - kScratchBegin);  // no leaks
+}
+
+TEST(Gates, CopyIntoOverwrites) {
+  MicrocodeFixture fx;
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    fx.xb_.set_bit(r, 0, r % 3 == 0);
+    fx.xb_.set_bit(r, 2, true);
+  }
+  ProgramBuilder pb(fx.alloc_);
+  pb.emit_copy_into(0, 2);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(fx.xb_.bit(r, 2), r % 3 == 0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Predicates: parameterized over field width
+// ---------------------------------------------------------------------------
+
+class PredicateWidth : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(PredicateWidth, AllComparisonsMatchScalar) {
+  const std::uint16_t width = GetParam();
+  Rng rng(1000 + width);
+  MicrocodeFixture fx;
+  const Field f{10, width};
+  const std::vector<std::uint64_t> vals = fx.fill(f, rng);
+  const std::size_t scratch_total = fx.alloc_.available();
+
+  // Probe constants: edge values and random draws.
+  std::vector<std::uint64_t> consts = {0, 1, field_mask(width),
+                                       field_mask(width) / 2};
+  for (int i = 0; i < 4; ++i) consts.push_back(rng.next_u64() & field_mask(width));
+
+  for (const std::uint64_t c : consts) {
+    struct Case {
+      const char* name;
+      std::uint16_t col;
+      std::function<bool(std::uint64_t)> pred;
+    };
+    ProgramBuilder pb(fx.alloc_);
+    std::vector<Case> cases;
+    cases.push_back({"eq", pb.emit_eq_const(f, c),
+                     [c](std::uint64_t v) { return v == c; }});
+    cases.push_back({"lt", pb.emit_lt_const(f, c),
+                     [c](std::uint64_t v) { return v < c; }});
+    cases.push_back({"le", pb.emit_le_const(f, c),
+                     [c](std::uint64_t v) { return v <= c; }});
+    cases.push_back({"gt", pb.emit_gt_const(f, c),
+                     [c](std::uint64_t v) { return v > c; }});
+    cases.push_back({"ge", pb.emit_ge_const(f, c),
+                     [c](std::uint64_t v) { return v >= c; }});
+    fx.xb_.execute(pb.program());
+    for (const Case& tc : cases) {
+      for (std::uint32_t r = 0; r < kRows; ++r) {
+        ASSERT_EQ(fx.xb_.bit(r, tc.col), tc.pred(vals[r]))
+            << tc.name << " width=" << width << " const=" << c << " row=" << r
+            << " value=" << vals[r];
+      }
+      pb.release(tc.col);
+    }
+    EXPECT_EQ(fx.alloc_.available(), scratch_total) << "scratch leak";
+  }
+}
+
+TEST_P(PredicateWidth, BetweenMatchesScalar) {
+  const std::uint16_t width = GetParam();
+  Rng rng(2000 + width);
+  MicrocodeFixture fx;
+  const Field f{0, width};
+  const std::vector<std::uint64_t> vals = fx.fill(f, rng);
+  const std::size_t scratch_total = fx.alloc_.available();
+
+  for (int i = 0; i < 6; ++i) {
+    std::uint64_t lo = rng.next_u64() & field_mask(width);
+    std::uint64_t hi = rng.next_u64() & field_mask(width);
+    if (i == 0) lo = 0;
+    if (i == 1) hi = field_mask(width);
+    if (i == 2) std::swap(lo, hi);  // possibly-empty range
+    ProgramBuilder pb(fx.alloc_);
+    const std::uint16_t col = pb.emit_between_const(f, lo, hi);
+    fx.xb_.execute(pb.program());
+    for (std::uint32_t r = 0; r < kRows; ++r) {
+      ASSERT_EQ(fx.xb_.bit(r, col), lo <= vals[r] && vals[r] <= hi)
+          << "width=" << width << " lo=" << lo << " hi=" << hi;
+    }
+    pb.release(col);
+    EXPECT_EQ(fx.alloc_.available(), scratch_total);
+  }
+}
+
+TEST_P(PredicateWidth, InSetMatchesScalar) {
+  const std::uint16_t width = GetParam();
+  Rng rng(3000 + width);
+  MicrocodeFixture fx;
+  const Field f{32, width};
+  const std::vector<std::uint64_t> vals = fx.fill(f, rng);
+
+  std::vector<std::uint64_t> set;
+  for (int i = 0; i < 5; ++i) set.push_back(rng.next_u64() & field_mask(width));
+  set.push_back(vals[0]);  // guarantee at least one hit
+
+  ProgramBuilder pb(fx.alloc_);
+  const std::uint16_t col = pb.emit_in_set(f, set);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const bool expected =
+        std::find(set.begin(), set.end(), vals[r]) != set.end();
+    ASSERT_EQ(fx.xb_.bit(r, col), expected);
+  }
+  pb.release(col);
+
+  ProgramBuilder pb2(fx.alloc_);
+  const std::uint16_t empty = pb2.emit_in_set(f, {});
+  fx.xb_.execute(pb2.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) EXPECT_FALSE(fx.xb_.bit(r, empty));
+  pb2.release(empty);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PredicateWidth,
+                         ::testing::Values<std::uint16_t>(1, 2, 3, 5, 8, 11,
+                                                          16, 20, 24, 33));
+
+TEST(Predicates, OutOfDomainConstants) {
+  MicrocodeFixture fx;
+  Rng rng(4);
+  const Field f{0, 8};
+  fx.fill(f, rng);
+  ProgramBuilder pb(fx.alloc_);
+  const std::uint16_t eq = pb.emit_eq_const(f, 300);   // > 255: never
+  const std::uint16_t lt = pb.emit_lt_const(f, 300);   // always
+  const std::uint16_t ge = pb.emit_ge_const(f, 300);   // never
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    EXPECT_FALSE(fx.xb_.bit(r, eq));
+    EXPECT_TRUE(fx.xb_.bit(r, lt));
+    EXPECT_FALSE(fx.xb_.bit(r, ge));
+  }
+  pb.release(eq);
+  pb.release(lt);
+  pb.release(ge);
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic: parameterized over operand widths
+// ---------------------------------------------------------------------------
+
+struct ArithCase {
+  std::uint16_t wa, wb, wd;
+};
+
+class Arithmetic : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(Arithmetic, AddMatchesScalar) {
+  const auto [wa, wb, wd] = GetParam();
+  Rng rng(50 + wa * 100 + wb);
+  MicrocodeFixture fx;
+  const Field a{0, wa};
+  const Field b{static_cast<std::uint16_t>(wa), wb};
+  const Field d{static_cast<std::uint16_t>(wa + wb), wd};
+  const auto va = fx.fill(a, rng);
+  const auto vb = fx.fill(b, rng);
+  ProgramBuilder pb(fx.alloc_);
+  pb.emit_add(a, b, d);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const std::uint64_t expected = (va[r] + vb[r]) & field_mask(wd);
+    ASSERT_EQ(fx.xb_.read_row_bits(r, d.offset, d.width), expected)
+        << "row " << r << " " << va[r] << "+" << vb[r];
+  }
+  EXPECT_EQ(fx.alloc_.available(), kCols - kScratchBegin);
+}
+
+TEST_P(Arithmetic, SubMatchesScalar) {
+  const auto [wa, wb, wd] = GetParam();
+  Rng rng(60 + wa * 100 + wb);
+  MicrocodeFixture fx;
+  const Field a{0, wa};
+  const Field b{static_cast<std::uint16_t>(wa), wb};
+  const Field d{static_cast<std::uint16_t>(wa + wb), wd};
+  const auto va = fx.fill(a, rng);
+  const auto vb = fx.fill(b, rng);
+  ProgramBuilder pb(fx.alloc_);
+  pb.emit_sub(a, b, d);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const std::uint64_t expected = (va[r] - vb[r]) & field_mask(wd);
+    ASSERT_EQ(fx.xb_.read_row_bits(r, d.offset, d.width), expected)
+        << "row " << r << " " << va[r] << "-" << vb[r];
+  }
+  EXPECT_EQ(fx.alloc_.available(), kCols - kScratchBegin);
+}
+
+TEST_P(Arithmetic, MulMatchesScalar) {
+  const auto [wa, wb, wd] = GetParam();
+  if (wa + wb > 40) GTEST_SKIP() << "mul sweep keeps operands modest";
+  Rng rng(70 + wa * 100 + wb);
+  MicrocodeFixture fx;
+  const Field a{0, wa};
+  const Field b{static_cast<std::uint16_t>(wa), wb};
+  const Field d{static_cast<std::uint16_t>(wa + wb),
+                static_cast<std::uint16_t>(wa + wb)};
+  const auto va = fx.fill(a, rng);
+  const auto vb = fx.fill(b, rng);
+  ProgramBuilder pb(fx.alloc_);
+  pb.emit_mul(a, b, d);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const std::uint64_t expected = (va[r] * vb[r]) & field_mask(d.width);
+    ASSERT_EQ(fx.xb_.read_row_bits(r, d.offset, d.width), expected)
+        << "row " << r << " " << va[r] << "*" << vb[r];
+  }
+  EXPECT_EQ(fx.alloc_.available(), kCols - kScratchBegin);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthCombos, Arithmetic,
+    ::testing::Values(ArithCase{1, 1, 4}, ArithCase{4, 4, 8},
+                      ArithCase{8, 3, 12}, ArithCase{3, 8, 16},
+                      ArithCase{16, 16, 20},  // dst narrower than full sum
+                      ArithCase{20, 4, 26}, ArithCase{12, 12, 30}));
+
+TEST(Arithmetic, OverlapRejected) {
+  MicrocodeFixture fx;
+  ProgramBuilder pb(fx.alloc_);
+  const Field a{0, 8};
+  const Field d{4, 12};  // overlaps a
+  EXPECT_THROW(pb.emit_add(a, a, d), std::invalid_argument);
+  EXPECT_THROW(pb.emit_sub(a, a, d), std::invalid_argument);
+  EXPECT_THROW(pb.emit_mul(a, a, d), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: the PIM MUX for UPDATE
+// ---------------------------------------------------------------------------
+
+TEST(MuxConst, UpdatesOnlySelectedRows) {
+  MicrocodeFixture fx;
+  Rng rng(99);
+  const Field f{7, 13};
+  const auto vals = fx.fill(f, rng);
+  // Select bit: rows divisible by 3.
+  for (std::uint32_t r = 0; r < kRows; ++r) fx.xb_.set_bit(r, 40, r % 3 == 0);
+
+  const std::uint64_t new_value = 0x1234 & field_mask(13);
+  ProgramBuilder pb(fx.alloc_);
+  pb.emit_mux_const(f, new_value, 40);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    const std::uint64_t expected = (r % 3 == 0) ? new_value : vals[r];
+    ASSERT_EQ(fx.xb_.read_row_bits(r, f.offset, f.width), expected)
+        << "row " << r;
+  }
+  EXPECT_EQ(fx.alloc_.available(), kCols - kScratchBegin);
+}
+
+TEST(MuxConst, NoSelectionIsIdentity) {
+  MicrocodeFixture fx;
+  Rng rng(100);
+  const Field f{0, 10};
+  const auto vals = fx.fill(f, rng);
+  ProgramBuilder pb(fx.alloc_);
+  const std::uint16_t never = pb.emit_const(false);
+  pb.emit_mux_const(f, 777, never);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(fx.xb_.read_row_bits(r, f.offset, f.width), vals[r]);
+  }
+  pb.release(never);
+}
+
+TEST(ClearField, ZeroesEveryRow) {
+  MicrocodeFixture fx;
+  Rng rng(101);
+  const Field f{3, 9};
+  fx.fill(f, rng);
+  ProgramBuilder pb(fx.alloc_);
+  pb.emit_clear_field(f);
+  fx.xb_.execute(pb.program());
+  for (std::uint32_t r = 0; r < kRows; ++r) {
+    EXPECT_EQ(fx.xb_.read_row_bits(r, f.offset, f.width), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace bbpim::pim

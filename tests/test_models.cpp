@@ -1,0 +1,172 @@
+// Tests for the latency models, the fitter, and the Equation-3 planner.
+#include <gtest/gtest.h>
+
+#include "engine/groupby.hpp"
+#include "engine/latency_model.hpp"
+#include "engine/model_fitter.hpp"
+#include "baseline/reference.hpp"
+#include "engine_test_util.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+LatencyModels synthetic_models(double pim_per_group_ns, double host_a,
+                               double host_b) {
+  LatencyModels m;
+  SqrtFit s;
+  s.a = host_a;
+  s.b = host_b;
+  m.host_slope.emplace(2, s);
+  LinearFit l;
+  l.slope = 0.0;
+  l.intercept = pim_per_group_ns;
+  m.pim_gb.emplace(1, l);
+  return m;
+}
+
+GroupByPlanInput skewed_input(std::size_t kmax, double selectivity) {
+  GroupByPlanInput in;
+  in.pages = 100;
+  in.n = 1;
+  in.s = 2;
+  in.selectivity_est = selectivity;
+  double mass = 0.5;
+  for (std::size_t i = 0; i < kmax; ++i) {
+    GroupCandidate c;
+    c.key = {i};
+    c.sampled = i < 4;
+    c.est_mass = i < 4 ? mass : 0.0;
+    mass /= 2;
+    in.candidates.push_back(c);
+  }
+  sort_candidates(in.candidates);
+  return in;
+}
+
+TEST(Planner, CheapPimAggregatesEverything) {
+  // PIM almost free -> aggregate all subgroups, drop host-gb entirely.
+  const LatencyModels m = synthetic_models(10.0, 1e6, 1e5);
+  const GroupByPlan plan = choose_k(m, skewed_input(8, 0.1));
+  EXPECT_EQ(plan.k, 8u);
+}
+
+TEST(Planner, ExpensivePimGoesPureHost) {
+  const LatencyModels m = synthetic_models(1e9, 1e4, 1e3);
+  const GroupByPlan plan = choose_k(m, skewed_input(8, 0.1));
+  EXPECT_EQ(plan.k, 0u);
+}
+
+TEST(Planner, SkewPeelsLargeGroups) {
+  // Moderate PIM cost: peeling the heavy head pays, the long tail doesn't.
+  const LatencyModels m = synthetic_models(4e5, 4e5, 1e3);
+  const GroupByPlan plan = choose_k(m, skewed_input(64, 0.5));
+  EXPECT_GT(plan.k, 0u);
+  EXPECT_LT(plan.k, 64u);
+  // The T(k) curve was evaluated for every k.
+  EXPECT_EQ(plan.t_of_k.size(), 65u);
+  EXPECT_DOUBLE_EQ(plan.t_of_k[plan.k], plan.predicted_ns);
+}
+
+TEST(Planner, IncompleteCandidatesForbidPurePim) {
+  const LatencyModels m = synthetic_models(10.0, 1e6, 1e5);
+  GroupByPlanInput in = skewed_input(8, 0.1);
+  in.candidates_complete = false;
+  const GroupByPlan plan = choose_k(m, in);
+  // Host-gb cannot be dropped, so k stays at the sampled head where masses
+  // actually shrink r(k); aggregating unseen groups buys nothing.
+  EXPECT_LE(plan.k, 4u);
+}
+
+TEST(Planner, UnfittedModelsThrow) {
+  LatencyModels empty;
+  EXPECT_THROW(choose_k(empty, skewed_input(4, 0.1)), std::logic_error);
+}
+
+TEST(Models, NearestKeyLookup) {
+  LatencyModels m;
+  SqrtFit s2;
+  s2.a = 100;
+  s2.b = 10;
+  SqrtFit s8;
+  s8.a = 800;
+  s8.b = 80;
+  m.host_slope.emplace(2, s2);
+  m.host_slope.emplace(8, s8);
+  LinearFit l;
+  l.slope = 1;
+  m.pim_gb.emplace(1, l);
+  // s=3 snaps to 2; s=6 snaps to 8; clamping at the edges.
+  EXPECT_NEAR(m.host_gb_ns(10, 3, 0.25), 10 * (100 * 0.5 + 10), 1e-9);
+  EXPECT_NEAR(m.host_gb_ns(10, 6, 0.25), 10 * (800 * 0.5 + 80), 1e-9);
+  EXPECT_NEAR(m.host_gb_ns(10, 100, 1.0), 10 * (800 + 80), 1e-9);
+  // r clamped to [0, 1].
+  EXPECT_NEAR(m.host_gb_ns(10, 2, 5.0), 10 * (100 + 10), 1e-9);
+}
+
+/// Fitter fixtures need wider rows: the synthetic relation's 64-bit value
+/// field plus its sum-result slot exceed the 128-column test geometry.
+pim::PimConfig fitter_config() {
+  pim::PimConfig cfg = testutil::small_pim_config();
+  cfg.crossbar_cols = 256;
+  return cfg;
+}
+
+TEST(Fitter, ModelsFitTheSimulatorWell) {
+  const pim::PimConfig cfg = fitter_config();
+  const host::HostConfig hcfg;
+  FitConfig fit;
+  fit.page_counts = {4, 8, 12};
+  fit.ratios = {0.02, 0.1, 0.4, 0.8};
+  fit.s_values = {2, 4};
+  fit.n_values = {1, 2};
+  const ModelFitResult res =
+      fit_latency_models(EngineKind::kOneXb, cfg, hcfg, fit);
+  ASSERT_TRUE(res.models.fitted());
+  ASSERT_EQ(res.models.host_slope.size(), 2u);
+  ASSERT_EQ(res.models.pim_gb.size(), 2u);
+  for (const auto& [s, f] : res.models.host_slope) {
+    EXPECT_GT(f.a, 0.0) << "s=" << s;
+    EXPECT_GT(f.r2, 0.85) << "s=" << s;
+  }
+  for (const auto& [n, f] : res.models.pim_gb) {
+    EXPECT_GT(f.slope, 0.0) << "n=" << n;
+    EXPECT_GT(f.r2, 0.95) << "n=" << n;
+  }
+  // Monotonicity: more chunks per record -> steeper host slope.
+  EXPECT_GT(res.models.host_slope.at(4).eval(0.5),
+            res.models.host_slope.at(2).eval(0.5));
+  // pim-gb grows with n at fixed M.
+  EXPECT_GT(res.models.pim_gb.at(2).eval(12), res.models.pim_gb.at(1).eval(12));
+  EXPECT_FALSE(res.host_obs.empty());
+  EXPECT_FALSE(res.pim_obs.empty());
+}
+
+TEST(Fitter, PlannerDrivenExecutionMatchesReference) {
+  // With fitted models the engine picks k itself; results must still be
+  // exact and the choice recorded in the stats.
+  const pim::PimConfig cfg = fitter_config();
+  const host::HostConfig hcfg;
+  FitConfig fit;
+  fit.page_counts = {4, 8};
+  fit.ratios = {0.05, 0.3, 0.8};
+  fit.s_values = {2, 3};
+  fit.n_values = {1};
+  const ModelFitResult res =
+      fit_latency_models(EngineKind::kOneXb, cfg, hcfg, fit);
+
+  testutil::EngineFixture fx(EngineKind::kOneXb, 900, 55);
+  fx.engine->set_models(res.models);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT f_gid, SUM(f_val) AS s FROM t WHERE f_key < 2500 "
+      "GROUP BY f_gid ORDER BY f_gid");
+  const QueryOutput out = fx.engine->execute(q);
+  const auto ref = baseline::scan_execute(*fx.table, q);
+  ASSERT_EQ(out.rows.size(), ref.rows.size());
+  for (std::size_t i = 0; i < out.rows.size(); ++i) {
+    EXPECT_EQ(out.rows[i].agg, ref.rows[i].agg);
+  }
+  EXPECT_LE(out.stats.pim_subgroups, out.stats.total_subgroups);
+}
+
+}  // namespace
+}  // namespace bbpim::engine

@@ -1,0 +1,113 @@
+// Tests for the automatic vertical partitioner (Section III) and its
+// integration with the two-part store and query engine.
+#include <gtest/gtest.h>
+
+#include "baseline/reference.hpp"
+#include "engine/partition.hpp"
+#include "engine_test_util.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+rel::Schema wide_schema(std::initializer_list<std::uint32_t> widths) {
+  std::vector<rel::Attribute> attrs;
+  int i = 0;
+  for (const std::uint32_t w : widths) {
+    attrs.push_back({"a" + std::to_string(i++), rel::DataType::kInt, w, nullptr});
+  }
+  return rel::Schema(std::move(attrs));
+}
+
+TEST(Partitioner, SingleRowFitsInOnePart) {
+  pim::PimConfig cfg;  // 512 columns
+  const rel::Schema s = wide_schema({20, 30, 40, 50});
+  const PartitionPlan plan = plan_vertical_partition(s, cfg);
+  EXPECT_EQ(plan.parts, 1);
+  for (const int p : plan.part_of) EXPECT_EQ(p, 0);
+  EXPECT_EQ(plan.bits_used[0], 140u);
+}
+
+TEST(Partitioner, WideRecordSplitsIntoTwo) {
+  pim::PimConfig cfg;  // capacity = 512 - 1 - 96 = 415 per part
+  const rel::Schema s = wide_schema({60, 60, 60, 60, 60, 60, 60, 60, 60, 60});
+  const PartitionPlan plan = plan_vertical_partition(s, cfg);
+  EXPECT_EQ(plan.parts, 2);
+  for (const std::uint32_t used : plan.bits_used) EXPECT_LE(used, 415u);
+  // Everything placed exactly once.
+  std::uint32_t total = 0;
+  for (const std::uint32_t used : plan.bits_used) total += used;
+  EXPECT_EQ(total, 600u);
+}
+
+TEST(Partitioner, HotAttributesClaimPartZero) {
+  pim::PimConfig cfg;
+  cfg.crossbar_cols = 128;  // capacity = 128 - 1 - 31 = 96 bits per part
+  const rel::Schema s = wide_schema({40, 40, 40, 40});
+  const std::size_t hot[] = {3, 1};  // priority order
+  const PartitionPlan plan = plan_vertical_partition(s, cfg, hot, 31);
+  EXPECT_EQ(plan.part_of[3], 0);
+  EXPECT_EQ(plan.part_of[1], 0);
+  EXPECT_EQ(plan.parts, 2);
+  EXPECT_NE(plan.part_of[0], 0);
+  EXPECT_NE(plan.part_of[2], 0);
+}
+
+TEST(Partitioner, Validation) {
+  pim::PimConfig cfg;
+  cfg.crossbar_cols = 64;
+  const rel::Schema too_wide = wide_schema({60});
+  EXPECT_THROW(plan_vertical_partition(too_wide, cfg, {}, 16),
+               std::invalid_argument);
+  const rel::Schema ok = wide_schema({8});
+  EXPECT_THROW(plan_vertical_partition(ok, cfg, {}, 64), std::invalid_argument);
+  const std::size_t bad_hot[] = {7};
+  EXPECT_THROW(plan_vertical_partition(ok, cfg, bad_hot, 16),
+               std::out_of_range);
+}
+
+TEST(Partitioner, DrivesTwoPartStoreEndToEnd) {
+  // Partition the synthetic relation with the fact attrs hot, build a
+  // two-part store from the plan, and check query results stay exact.
+  const pim::PimConfig cfg = testutil::small_pim_config();  // 128 cols
+  const rel::Table t = testutil::make_synthetic_table(600, 77);
+  // Force a split: reserve enough scratch that both parts are needed.
+  const std::size_t hot[] = {0, 2, 3};  // f_key, f_val, f_val2
+  const PartitionPlan plan =
+      plan_vertical_partition(t.schema(), cfg, hot, 104);
+  ASSERT_EQ(plan.parts, 2);
+  EXPECT_EQ(plan.part_of[0], 0);
+  EXPECT_EQ(plan.part_of[2], 0);
+
+  pim::PimModule module(cfg);
+  PimStore::Options opt;
+  opt.two_crossbar = true;
+  opt.part_of = plan.to_part_function(t.schema());
+  PimStore store(module, t, opt);
+  host::HostConfig hcfg;
+  PimQueryEngine engine(EngineKind::kTwoXb, store, hcfg);
+
+  const sql::BoundQuery q = sql::bind(
+      sql::parse("SELECT f_gid, SUM(f_val) AS s FROM t WHERE f_key < 2000 "
+                 "GROUP BY f_gid ORDER BY f_gid"),
+      t.schema());
+  ExecOptions opts;
+  opts.force_k = 2;
+  const QueryOutput out = engine.execute(q, opts);
+  const auto ref = baseline::scan_execute(t, q);
+  ASSERT_EQ(out.rows.size(), ref.rows.size());
+  for (std::size_t i = 0; i < out.rows.size(); ++i) {
+    EXPECT_EQ(out.rows[i].agg, ref.rows[i].agg);
+  }
+}
+
+TEST(Partitioner, PartFunctionRejectsUnknownNames) {
+  pim::PimConfig cfg;
+  const rel::Schema s = wide_schema({8, 8});
+  const PartitionPlan plan = plan_vertical_partition(s, cfg);
+  const auto fn = plan.to_part_function(s);
+  EXPECT_EQ(fn("a0"), 0);
+  EXPECT_THROW(fn("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bbpim::engine

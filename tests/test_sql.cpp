@@ -1,0 +1,209 @@
+// Tests for the SQL front-end: lexer, parser, and binder (including
+// order-preserving string ranges and static predicate folding).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sql/lexer.hpp"
+#include "sql/logical_plan.hpp"
+#include "sql/parser.hpp"
+#include "ssb/queries.hpp"
+
+namespace bbpim::sql {
+namespace {
+
+TEST(Lexer, TokenKindsAndPayloads) {
+  const auto toks = lex("SELECT a_b, 42 FROM t WHERE x >= 'hi';");
+  ASSERT_GE(toks.size(), 10u);
+  EXPECT_EQ(toks[0].kind, TokKind::kKeyword);
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].text, "a_b");
+  EXPECT_EQ(toks[2].kind, TokKind::kComma);
+  EXPECT_EQ(toks[3].kind, TokKind::kInt);
+  EXPECT_EQ(toks[3].int_value, 42);
+  EXPECT_EQ(toks.back().kind, TokKind::kEnd);
+}
+
+TEST(Lexer, CaseInsensitiveKeywordsLowercaseIdents) {
+  const auto toks = lex("select D_Year from T");
+  EXPECT_EQ(toks[0].text, "SELECT");
+  EXPECT_EQ(toks[1].text, "d_year");
+}
+
+TEST(Lexer, Operators) {
+  const auto toks = lex("< <= > >= = * + -");
+  EXPECT_EQ(toks[0].kind, TokKind::kLt);
+  EXPECT_EQ(toks[1].kind, TokKind::kLe);
+  EXPECT_EQ(toks[2].kind, TokKind::kGt);
+  EXPECT_EQ(toks[3].kind, TokKind::kGe);
+  EXPECT_EQ(toks[4].kind, TokKind::kEq);
+  EXPECT_EQ(toks[5].kind, TokKind::kStar);
+  EXPECT_EQ(toks[6].kind, TokKind::kPlus);
+  EXPECT_EQ(toks[7].kind, TokKind::kMinus);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(lex("SELECT 'unterminated"), std::invalid_argument);
+  EXPECT_THROW(lex("SELECT @"), std::invalid_argument);
+}
+
+TEST(Parser, FullSelectShape) {
+  const SelectStmt s = parse(
+      "SELECT SUM(a * b) AS rev, g FROM t1, t2 "
+      "WHERE a = 3 AND b BETWEEN 1 AND 5 AND c IN ('x', 'y') AND k1 = k2 "
+      "GROUP BY g ORDER BY g ASC, rev DESC;");
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].func, AggFunc::kSum);
+  EXPECT_EQ(s.items[0].expr.kind, Expr::Kind::kMul);
+  EXPECT_EQ(s.items[0].alias, "rev");
+  EXPECT_EQ(s.items[1].func, AggFunc::kNone);
+  ASSERT_EQ(s.from.size(), 2u);
+  ASSERT_EQ(s.where.size(), 4u);
+  EXPECT_EQ(s.where[0].kind, Predicate::Kind::kCmp);
+  EXPECT_EQ(s.where[1].kind, Predicate::Kind::kBetween);
+  EXPECT_EQ(s.where[2].kind, Predicate::Kind::kIn);
+  EXPECT_EQ(s.where[2].in_list.size(), 2u);
+  EXPECT_EQ(s.where[3].kind, Predicate::Kind::kJoinEq);
+  EXPECT_EQ(s.where[3].join_right, "k2");
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_FALSE(s.order_by[0].desc);
+  EXPECT_TRUE(s.order_by[1].desc);
+}
+
+TEST(Parser, LiteralFirstComparisonFlips) {
+  const SelectStmt s = parse("SELECT SUM(a) FROM t WHERE 10 <= b");
+  ASSERT_EQ(s.where.size(), 1u);
+  EXPECT_EQ(s.where[0].column, "b");
+  EXPECT_EQ(s.where[0].op, CmpOp::kGe);
+  EXPECT_EQ(s.where[0].v1.int_value, 10);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse("FROM t"), std::invalid_argument);
+  EXPECT_THROW(parse("SELECT SUM(a FROM t"), std::invalid_argument);
+  EXPECT_THROW(parse("SELECT a FROM t WHERE a < b"), std::invalid_argument);
+  EXPECT_THROW(parse("SELECT a FROM t extra junk"), std::invalid_argument);
+}
+
+TEST(Parser, AllSsbQueriesParse) {
+  for (const auto& q : ssb::queries()) {
+    EXPECT_NO_THROW(parse(q.sql)) << "query " << q.id;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Binder
+// ---------------------------------------------------------------------------
+
+rel::Schema test_schema() {
+  auto dict = std::make_shared<const rel::Dictionary>(
+      rel::Dictionary::from_values({"alpha", "beta", "gamma", "delta"}));
+  return rel::Schema({{"k", rel::DataType::kInt, 16, nullptr},
+                      {"v", rel::DataType::kInt, 20, nullptr},
+                      {"w", rel::DataType::kInt, 8, nullptr},
+                      {"s", rel::DataType::kString, 2, dict}});
+}
+
+TEST(Binder, BindsPredicatesGroupsAndOrder) {
+  const rel::Schema schema = test_schema();
+  const BoundQuery q = bind(
+      parse("SELECT s, SUM(v) AS total FROM t WHERE k >= 5 AND s = 'beta' "
+            "GROUP BY s ORDER BY total DESC, s"),
+      schema);
+  ASSERT_EQ(q.filters.size(), 2u);
+  EXPECT_EQ(q.filters[0].kind, BoundPredicate::Kind::kGe);
+  EXPECT_EQ(q.filters[0].attr, 0u);
+  EXPECT_EQ(q.filters[1].kind, BoundPredicate::Kind::kEq);
+  EXPECT_EQ(q.filters[1].v1, 1u);  // "beta"
+  ASSERT_EQ(q.group_by.size(), 1u);
+  EXPECT_EQ(q.group_by[0], 3u);
+  EXPECT_EQ(q.agg_func, AggFunc::kSum);
+  ASSERT_EQ(q.order_by.size(), 2u);
+  EXPECT_TRUE(q.order_by[0].is_agg);
+  EXPECT_TRUE(q.order_by[0].desc);
+  EXPECT_FALSE(q.order_by[1].is_agg);
+}
+
+TEST(Binder, StringRangesFoldToCodeRanges) {
+  const rel::Schema schema = test_schema();
+  // 'beta'..'gamma' -> codes 1..3 ('delta' sorts between them).
+  const BoundQuery q = bind(
+      parse("SELECT SUM(v) FROM t WHERE s BETWEEN 'beta' AND 'gamma'"),
+      schema);
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].kind, BoundPredicate::Kind::kBetween);
+  EXPECT_EQ(q.filters[0].v1, 1u);
+  EXPECT_EQ(q.filters[0].v2, 3u);
+  // Absent bound folds to lower_bound semantics.
+  const BoundQuery q2 = bind(
+      parse("SELECT SUM(v) FROM t WHERE s BETWEEN 'b' AND 'c'"), schema);
+  EXPECT_EQ(q2.filters[0].kind, BoundPredicate::Kind::kBetween);
+  EXPECT_EQ(q2.filters[0].v1, 1u);  // beta
+  EXPECT_EQ(q2.filters[0].v2, 1u);
+}
+
+TEST(Binder, StaticFolding) {
+  const rel::Schema schema = test_schema();
+  const BoundQuery never = bind(
+      parse("SELECT SUM(v) FROM t WHERE s = 'missing'"), schema);
+  EXPECT_EQ(never.filters[0].kind, BoundPredicate::Kind::kNever);
+  const BoundQuery in_fold = bind(
+      parse("SELECT SUM(v) FROM t WHERE s IN ('alpha', 'missing')"), schema);
+  EXPECT_EQ(in_fold.filters[0].kind, BoundPredicate::Kind::kEq);
+  const BoundQuery neg = bind(
+      parse("SELECT SUM(v) FROM t WHERE 0 <= k"), schema);
+  EXPECT_EQ(neg.filters[0].kind, BoundPredicate::Kind::kGe);
+}
+
+TEST(Binder, JoinPredicatesPreserved) {
+  const rel::Schema schema = test_schema();
+  const BoundQuery q =
+      bind(parse("SELECT SUM(v) FROM t WHERE k = w"), schema);
+  ASSERT_EQ(q.join_predicates.size(), 1u);
+  EXPECT_EQ(q.join_predicates[0].first, "k");
+  EXPECT_EQ(q.join_predicates[0].second, "w");
+  EXPECT_TRUE(q.filters.empty());
+}
+
+TEST(Binder, Errors) {
+  const rel::Schema schema = test_schema();
+  EXPECT_THROW(bind(parse("SELECT SUM(zzz) FROM t"), schema),
+               std::invalid_argument);
+  EXPECT_THROW(bind(parse("SELECT v FROM t"), schema), std::invalid_argument);
+  EXPECT_THROW(bind(parse("SELECT v, SUM(v) FROM t"), schema),
+               std::invalid_argument);  // v not grouped
+  EXPECT_THROW(bind(parse("SELECT SUM(v), SUM(w) FROM t"), schema),
+               std::invalid_argument);  // two aggregates
+  EXPECT_THROW(bind(parse("SELECT SUM(v) FROM t WHERE s = 3"), schema),
+               std::invalid_argument);  // type mismatch
+  EXPECT_THROW(bind(parse("SELECT SUM(v) FROM t ORDER BY w"), schema),
+               std::invalid_argument);  // order by non-grouped
+}
+
+TEST(BoundPredicateTest, MatchesSemantics) {
+  BoundPredicate p;
+  p.kind = BoundPredicate::Kind::kBetween;
+  p.v1 = 3;
+  p.v2 = 7;
+  EXPECT_FALSE(p.matches(2));
+  EXPECT_TRUE(p.matches(3));
+  EXPECT_TRUE(p.matches(7));
+  EXPECT_FALSE(p.matches(8));
+  p.kind = BoundPredicate::Kind::kIn;
+  p.in_values = {2, 9};
+  EXPECT_TRUE(p.matches(9));
+  EXPECT_FALSE(p.matches(3));
+}
+
+TEST(BoundAggExprTest, EvalWrapsExactly) {
+  BoundAggExpr e;
+  e.kind = Expr::Kind::kSub;
+  // 5 - 9 wraps in uint64 but casts back to the exact negative.
+  EXPECT_EQ(static_cast<std::int64_t>(e.eval(5, 9)), -4);
+  e.kind = Expr::Kind::kMul;
+  EXPECT_EQ(e.eval(7, 6), 42u);
+}
+
+}  // namespace
+}  // namespace bbpim::sql
