@@ -4,7 +4,8 @@
 // the measured latency curve with the Equation-3 model prediction, showing
 // (a) that the planner's k sits at/near the measured minimum and (b) what
 // pure-host (k=0) and pure-PIM (k=kmax) would cost instead — i.e. the value
-// of the hybrid over either fixed policy.
+// of the hybrid over either fixed policy. Each query is prepared once and
+// re-executed with forced k through the session facade.
 #include <algorithm>
 #include <iostream>
 #include <vector>
@@ -12,20 +13,17 @@
 #include "common/table_printer.hpp"
 #include "common/units.hpp"
 #include "harness.hpp"
-#include "sql/parser.hpp"
 
 int main() {
   using namespace bbpim;
   bench::BenchWorld world;
-  auto& eng = world.engine_of(engine::EngineKind::kOneXb);
 
   for (const char* id : {"2.2", "2.1", "3.2"}) {
-    const auto& q = ssb::query(id);
-    const sql::BoundQuery bound =
-        sql::bind(sql::parse(q.sql), world.prejoined().schema());
+    const db::PreparedStatement stmt =
+        world.session().prepare(ssb::query(id).sql);
 
     // Planner's own choice first.
-    const engine::QueryOutput chosen = eng.execute(bound);
+    const engine::QueryOutput chosen = stmt.execute().output();
     const std::size_t kmax = chosen.stats.total_subgroups;
     std::cout << "=== Q" << id << ": planner chose k="
               << chosen.stats.pim_subgroups << " of " << kmax << " ("
@@ -46,7 +44,7 @@ int main() {
     for (const std::size_t k : ks) {
       engine::ExecOptions opts;
       opts.force_k = k;
-      const engine::QueryOutput out = eng.execute(bound, opts);
+      const engine::QueryOutput out = stmt.execute(opts).output();
       const double ms = units::ns_to_ms(out.stats.total_ns);
       if (best < 0 || ms < best) {
         best = ms;

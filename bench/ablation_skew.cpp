@@ -5,34 +5,22 @@
 // tail to host-gb. This bench regenerates SSB at several Zipf exponents and
 // shows how the planner's split and the hybrid's advantage over the fixed
 // policies react — at theta=0 (uniform) peeling subgroups buys little; with
-// heavy skew the head groups dominate r(k).
+// heavy skew the head groups dominate r(k). One session per generated
+// database; a shared ModelCache fits the latency models exactly once.
 #include <iostream>
 #include <memory>
 
 #include "common/table_printer.hpp"
 #include "common/units.hpp"
-#include "engine/model_fitter.hpp"
-#include "engine/pim_store.hpp"
-#include "engine/query_exec.hpp"
-#include "pim/module.hpp"
-#include "sql/parser.hpp"
+#include "db/db.hpp"
 #include "ssb/dbgen.hpp"
 #include "ssb/queries.hpp"
 
 int main() {
   using namespace bbpim;
 
-  const pim::PimConfig pim_cfg;
-  const host::HostConfig hcfg;
-  engine::FitConfig fit;
-  fit.page_counts = {2, 4};
-  fit.ratios = {0.02, 0.2, 0.6};
-  fit.s_values = {2, 4};
-  fit.n_values = {1, 2};
-  std::cerr << "[ablation_skew] fitting models once...\n";
-  const engine::LatencyModels models =
-      engine::fit_latency_models(engine::EngineKind::kOneXb, pim_cfg, hcfg, fit)
-          .models;
+  db::SessionOptions opts;
+  opts.models = std::make_shared<db::ModelCache>();  // fit once, share
 
   std::cout << "=== Zipf exponent sweep (SSB Q3.2, sf=0.05) ===\n";
   TablePrinter t({"theta", "sampled groups", "largest mass", "chosen k",
@@ -43,32 +31,29 @@ int main() {
     gen.zipf_theta = theta;
     std::cerr << "[ablation_skew] theta=" << theta << "...\n";
     const ssb::SsbData data = ssb::generate(gen);
-    const rel::Table prejoined = ssb::prejoin_ssb(data);
-    pim::PimModule module(pim_cfg);
-    engine::PimStore store(module, prejoined);
-    engine::PimQueryEngine eng(engine::EngineKind::kOneXb, store, hcfg,
-                               models);
-    const sql::BoundQuery q =
-        sql::bind(sql::parse(ssb::query("3.2").sql), prejoined.schema());
+    db::Database database;
+    database.register_table(ssb::prejoin_ssb(data));
+    db::Session session(database, opts);
+    const db::PreparedStatement stmt = session.prepare(ssb::query("3.2").sql);
 
-    const engine::QueryOutput hybrid = eng.execute(q);
+    const db::ResultSet hybrid = stmt.execute();
     engine::ExecOptions k0;
     k0.force_k = 0;
-    const engine::QueryOutput host_only = eng.execute(q, k0);
+    const db::ResultSet host_only = stmt.execute(k0);
     engine::ExecOptions kall;
-    kall.force_k = hybrid.stats.total_subgroups;
-    const engine::QueryOutput pim_all = eng.execute(q, kall);
+    kall.force_k = hybrid.stats().total_subgroups;
+    const db::ResultSet pim_all = stmt.execute(kall);
 
-    const double top_mass = hybrid.stats.candidate_masses.empty()
-                                ? 0.0
-                                : hybrid.stats.candidate_masses.front();
+    const auto& st = hybrid.stats();
+    const double top_mass =
+        st.candidate_masses.empty() ? 0.0 : st.candidate_masses.front();
     t.add_row({TablePrinter::fmt(theta, 2),
-               std::to_string(hybrid.stats.sampled_subgroups),
+               std::to_string(st.sampled_subgroups),
                TablePrinter::fmt(top_mass, 3),
-               std::to_string(hybrid.stats.pim_subgroups),
-               TablePrinter::fmt(units::ns_to_ms(hybrid.stats.total_ns), 3),
-               TablePrinter::fmt(units::ns_to_ms(host_only.stats.total_ns), 3),
-               TablePrinter::fmt(units::ns_to_ms(pim_all.stats.total_ns), 3)});
+               std::to_string(st.pim_subgroups),
+               TablePrinter::fmt(units::ns_to_ms(st.total_ns), 3),
+               TablePrinter::fmt(units::ns_to_ms(host_only.stats().total_ns), 3),
+               TablePrinter::fmt(units::ns_to_ms(pim_all.stats().total_ns), 3)});
   }
   t.print(std::cout);
   std::cout << "\nHigher theta concentrates the selected records into fewer "

@@ -3,20 +3,17 @@
 // Bulk-bitwise PIM exists on several substrates (Section II-B's citations:
 // MAGIC-RRAM [1,3,5], Ambit/SIMDRAM DRAM [2,4], Pinatubo PCM [6]). This
 // bench re-runs two representative SSB queries on each technology preset —
-// same geometry, same plans, different cycle/energy constants — and checks
-// whether the paper's conclusions survive the substrate swap, including
-// the ten-year endurance budget of each technology.
+// one session per substrate, same geometry, same forced plans, different
+// cycle/energy constants — and checks whether the paper's conclusions
+// survive the substrate swap, including the ten-year endurance budget of
+// each technology.
 #include <iostream>
 
 #include "common/table_printer.hpp"
 #include "common/units.hpp"
-#include "engine/pim_store.hpp"
-#include "engine/query_exec.hpp"
-#include "harness.hpp"
+#include "db/db.hpp"
 #include "pim/endurance.hpp"
-#include "pim/module.hpp"
 #include "pim/technology.hpp"
-#include "sql/parser.hpp"
 #include "ssb/dbgen.hpp"
 #include "ssb/queries.hpp"
 
@@ -28,8 +25,9 @@ int main() {
   std::cerr << "[ablation_technology] generating SSB sf=" << gen.scale_factor
             << "...\n";
   const ssb::SsbData data = ssb::generate(gen);
-  const rel::Table prejoined = ssb::prejoin_ssb(data);
-  const host::HostConfig hcfg;
+
+  db::Database database;
+  database.register_table(ssb::prejoin_ssb(data));
 
   for (const char* id : {"1.1", "2.2"}) {
     std::cout << "=== SSB Q" << id << " across technologies ===\n";
@@ -38,22 +36,20 @@ int main() {
     for (const pim::Technology tech :
          {pim::Technology::kRram, pim::Technology::kDram,
           pim::Technology::kPcm}) {
-      const pim::PimConfig cfg = pim::technology_config(tech);
-      pim::PimModule module(cfg);
-      engine::PimStore store(module, prejoined);
-      engine::PimQueryEngine eng(engine::EngineKind::kOneXb, store, hcfg);
-      const sql::BoundQuery q =
-          sql::bind(sql::parse(ssb::query(id).sql), prejoined.schema());
-      engine::ExecOptions opts;
-      opts.force_k = 0;  // identical plans across technologies
-      const engine::QueryOutput out = eng.execute(q, opts);
+      db::SessionOptions opts;
+      opts.pim = pim::technology_config(tech);
+      db::Session session(database, opts);
+      engine::ExecOptions exec;
+      exec.force_k = 0;  // identical plans across technologies
+      const db::ResultSet out =
+          session.execute(ssb::query(id).sql, db::BackendKind::kOneXb, exec);
       const pim::EnduranceReport rep = pim::endurance_report(
-          out.stats.wear_row_writes, out.stats.total_ns, cfg, 10.0,
+          out.stats().wear_row_writes, out.stats().total_ns, opts.pim, 10.0,
           pim::technology_endurance_writes(tech));
       t.add_row({pim::technology_name(tech),
-                 TablePrinter::fmt(units::ns_to_ms(out.stats.total_ns), 3),
-                 TablePrinter::fmt(out.stats.energy_j * 1e3, 3),
-                 TablePrinter::fmt(out.stats.peak_chip_w, 3),
+                 TablePrinter::fmt(units::ns_to_ms(out.stats().total_ns), 3),
+                 TablePrinter::fmt(out.stats().energy_j * 1e3, 3),
+                 TablePrinter::fmt(out.stats().peak_chip_w, 3),
                  TablePrinter::fmt_sci(rep.writes_over_horizon, 2),
                  TablePrinter::fmt_sci(
                      pim::technology_endurance_writes(tech), 0),

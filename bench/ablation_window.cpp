@@ -3,18 +3,15 @@
 // Page controllers are independent, so the host can pipeline macro requests
 // arbitrarily deep — which is what makes phase latency linear in M but also
 // what stacks concurrent bulk-logic power (Fig. 8). This bench sweeps the
-// per-thread window and reports the latency/peak-power tradeoff on a
-// logic-heavy query (Q1.1: product decomposition + filter on every page),
-// the knob a deployment would use to enforce a chip power budget.
+// per-thread window — one session per host configuration over one shared
+// catalog — and reports the latency/peak-power tradeoff on a logic-heavy
+// query (Q1.1: product decomposition + filter on every page), the knob a
+// deployment would use to enforce a chip power budget.
 #include <iostream>
 
 #include "common/table_printer.hpp"
 #include "common/units.hpp"
-#include "engine/model_fitter.hpp"
-#include "engine/pim_store.hpp"
-#include "engine/query_exec.hpp"
-#include "pim/module.hpp"
-#include "sql/parser.hpp"
+#include "db/db.hpp"
 #include "harness.hpp"
 #include "ssb/dbgen.hpp"
 #include "ssb/queries.hpp"
@@ -30,25 +27,23 @@ int main() {
   std::cerr << "[ablation_window] generating SSB sf=" << gen.scale_factor
             << "...\n";
   const ssb::SsbData data = ssb::generate(gen);
-  const rel::Table prejoined = ssb::prejoin_ssb(data);
-  pim::PimModule module;
-  engine::PimStore store(module, prejoined);
-  const sql::BoundQuery q =
-      sql::bind(sql::parse(ssb::query("1.1").sql), prejoined.schema());
 
-  std::cout << "=== Outstanding-request window sweep (SSB Q1.1, M="
-            << store.pages_per_part() << ") ===\n";
+  db::Database database;
+  database.register_table(ssb::prejoin_ssb(data));
+
+  std::cout << "=== Outstanding-request window sweep (SSB Q1.1) ===\n";
   TablePrinter t({"window/thread", "runtime [ms]", "peak power [W/chip]",
                   "energy [mJ]"});
   for (const std::uint32_t window : {1u, 2u, 4u, 8u, 16u, 0u}) {
-    host::HostConfig hcfg;
-    hcfg.request_window = window;
-    engine::PimQueryEngine eng(engine::EngineKind::kOneXb, store, hcfg);
-    const engine::QueryOutput out = eng.execute(q);
+    db::SessionOptions opts;
+    opts.host.request_window = window;
+    db::Session session(database, opts);
+    const db::ResultSet out =
+        session.execute(ssb::query("1.1").sql, db::BackendKind::kOneXb);
     t.add_row({window == 0 ? "unlimited" : std::to_string(window),
-               TablePrinter::fmt(units::ns_to_ms(out.stats.total_ns), 3),
-               TablePrinter::fmt(out.stats.peak_chip_w, 3),
-               TablePrinter::fmt(out.stats.energy_j * 1e3, 3)});
+               TablePrinter::fmt(units::ns_to_ms(out.stats().total_ns), 3),
+               TablePrinter::fmt(out.stats().peak_chip_w, 3),
+               TablePrinter::fmt(out.stats().energy_j * 1e3, 3)});
   }
   t.print(std::cout);
   std::cout << "\nEnergy is window-independent (same work); the window only "

@@ -93,8 +93,7 @@ int main() {
   {
     TablePrinter t({"engine", "model", "key", "a / slope [ms]",
                     "b / const [ms]", "R^2"});
-    for (const EngineKind kind :
-         {EngineKind::kOneXb, EngineKind::kTwoXb, EngineKind::kPimdb}) {
+    for (const EngineKind kind : engine::kAllEngineKinds) {
       std::cerr << "[fig4] fitting " << engine_kind_name(kind) << "...\n";
       const engine::ModelFitResult r = engine::fit_latency_models(
           kind, pim_cfg, hcfg, bench::bench_fit_config());

@@ -1,12 +1,10 @@
 #include "harness.hpp"
 
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "pim/endurance.hpp"
-#include "sql/parser.hpp"
 
 namespace bbpim::bench {
 namespace {
@@ -21,11 +19,28 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
 }
 
-std::string model_cache_path(engine::EngineKind kind, const BenchConfig& cfg) {
-  std::ostringstream ss;
-  ss << "bbpim_models_" << engine_kind_name(kind) << "_sf"
-     << cfg.scale_factor << ".txt";
-  return ss.str();
+ssb::SsbData generate_data(const BenchConfig& cfg) {
+  if (cfg.verbose) {
+    std::cerr << "[bench] generating SSB (sf=" << cfg.scale_factor
+              << ", theta=" << cfg.zipf_theta << ", seed=" << cfg.seed
+              << ")...\n";
+  }
+  ssb::SsbConfig gen;
+  gen.scale_factor = cfg.scale_factor;
+  gen.zipf_theta = cfg.zipf_theta;
+  gen.seed = cfg.seed;
+  return ssb::generate(gen);
+}
+
+db::Database make_database(const ssb::SsbData& data, const BenchConfig& cfg) {
+  db::Database db;
+  const rel::Table& prejoined = db.register_table(ssb::prejoin_ssb(data));
+  if (cfg.verbose) {
+    std::cerr << "[bench] pre-joined relation: " << prejoined.row_count()
+              << " records, " << prejoined.schema().record_bits()
+              << " bits/record\n";
+  }
+  return db;
 }
 
 }  // namespace
@@ -56,79 +71,27 @@ engine::FitConfig bench_fit_config() {
   return fit;
 }
 
-BenchWorld::BenchWorld(BenchConfig cfg) : cfg_(cfg) {
-  if (cfg_.verbose) {
-    std::cerr << "[bench] generating SSB (sf=" << cfg_.scale_factor
-              << ", theta=" << cfg_.zipf_theta << ", seed=" << cfg_.seed
-              << ")...\n";
-  }
-  ssb::SsbConfig gen;
-  gen.scale_factor = cfg_.scale_factor;
-  gen.zipf_theta = cfg_.zipf_theta;
-  gen.seed = cfg_.seed;
-  data_ = ssb::generate(gen);
-  prejoined_ = ssb::prejoin_ssb(data_);
-  if (cfg_.verbose) {
-    std::cerr << "[bench] pre-joined relation: " << prejoined_.row_count()
-              << " records, " << prejoined_.schema().record_bits()
-              << " bits/record\n";
-  }
-
-  module_one_ = std::make_unique<pim::PimModule>(pim_cfg_);
-  store_one_ = std::make_unique<engine::PimStore>(*module_one_, prejoined_);
-  module_two_ = std::make_unique<pim::PimModule>(pim_cfg_);
-  engine::PimStore::Options two_opt;
-  two_opt.two_crossbar = true;
-  store_two_ =
-      std::make_unique<engine::PimStore>(*module_two_, prejoined_, two_opt);
-  module_pimdb_ = std::make_unique<pim::PimModule>(pim_cfg_);
-  store_pimdb_ = std::make_unique<engine::PimStore>(*module_pimdb_, prejoined_);
-
-  one_xb_ = std::make_unique<engine::PimQueryEngine>(
-      engine::EngineKind::kOneXb, *store_one_, host_cfg_,
-      fit_or_load(engine::EngineKind::kOneXb));
-  two_xb_ = std::make_unique<engine::PimQueryEngine>(
-      engine::EngineKind::kTwoXb, *store_two_, host_cfg_,
-      fit_or_load(engine::EngineKind::kTwoXb));
-  pimdb_ = std::make_unique<engine::PimQueryEngine>(
-      engine::EngineKind::kPimdb, *store_pimdb_, host_cfg_,
-      fit_or_load(engine::EngineKind::kPimdb));
-  monet_ = std::make_unique<baseline::MonetLikeEngine>(data_, prejoined_);
+db::SessionOptions bench_session_options(const BenchConfig& cfg) {
+  db::SessionOptions opts;
+  opts.fit = bench_fit_config();
+  opts.model_cache_dir = ".";
+  std::ostringstream tag;
+  tag << "_sf" << cfg.scale_factor;
+  opts.model_cache_tag = tag.str();
+  opts.verbose = cfg.verbose;
+  return opts;
 }
 
-engine::LatencyModels BenchWorld::fit_or_load(engine::EngineKind kind) {
-  const std::string path = model_cache_path(kind, cfg_);
-  if (std::ifstream in(path); in.good()) {
-    if (cfg_.verbose) {
-      std::cerr << "[bench] loading cached models from " << path << "\n";
-    }
-    return engine::LatencyModels::load(in);
-  }
-  if (cfg_.verbose) {
-    std::cerr << "[bench] fitting latency models for "
-              << engine_kind_name(kind) << " (cached to " << path << ")...\n";
-  }
-  const engine::ModelFitResult res =
-      engine::fit_latency_models(kind, pim_cfg_, host_cfg_, bench_fit_config());
-  if (std::ofstream out(path); out.good()) res.models.save(out);
-  return res.models;
-}
-
-engine::PimQueryEngine& BenchWorld::engine_of(engine::EngineKind kind) {
-  switch (kind) {
-    case engine::EngineKind::kOneXb: return *one_xb_;
-    case engine::EngineKind::kTwoXb: return *two_xb_;
-    case engine::EngineKind::kPimdb: return *pimdb_;
-  }
-  throw std::logic_error("engine_of: bad kind");
-}
-
-const engine::LatencyModels& BenchWorld::models(engine::EngineKind kind) {
-  return engine_of(kind).models();
+BenchWorld::BenchWorld(BenchConfig cfg)
+    : cfg_(cfg),
+      data_(generate_data(cfg_)),
+      db_(make_database(data_, cfg_)),
+      session_(db_, bench_session_options(cfg_)) {
+  monet_ = std::make_unique<baseline::MonetLikeEngine>(data_, prejoined());
 }
 
 engine::ModelFitResult BenchWorld::fit_result(engine::EngineKind kind) {
-  return engine::fit_latency_models(kind, pim_cfg_, host_cfg_,
+  return engine::fit_latency_models(kind, pim_config(), host_config(),
                                     bench_fit_config());
 }
 
@@ -136,15 +99,14 @@ const std::vector<QueryRun>& BenchWorld::run_all() {
   if (!runs_.empty()) return runs_;
   for (const auto& q : ssb::queries()) {
     if (cfg_.verbose) std::cerr << "[bench] running Q" << q.id << "...\n";
+    const db::PreparedStatement stmt = session_.prepare(q.sql);
     QueryRun run;
     run.id = std::string(q.id);
-    const sql::BoundQuery bound =
-        sql::bind(sql::parse(q.sql), prejoined_.schema());
-    run.one_xb = one_xb_->execute(bound);
-    run.two_xb = two_xb_->execute(bound);
-    run.pimdb = pimdb_->execute(bound);
-    run.mnt_join = monet_->execute_prejoined(bound);
-    run.mnt_reg = monet_->execute_star(bound);
+    run.one_xb = stmt.execute(db::BackendKind::kOneXb).output();
+    run.two_xb = stmt.execute(db::BackendKind::kTwoXb).output();
+    run.pimdb = stmt.execute(db::BackendKind::kPimdb).output();
+    run.mnt_join = monet_->execute_prejoined(stmt.bound());
+    run.mnt_reg = monet_->execute_star(stmt.bound());
     runs_.push_back(std::move(run));
   }
   return runs_;

@@ -1,10 +1,12 @@
-// Shared world for the benchmark binaries.
+// Shared world for the benchmark binaries, built on the bbpim::db facade.
 //
-// Builds the SSB database (scale factor from BBPIM_SF, default 0.1), the
-// pre-joined relation, the three PIM engines with fitted latency models
-// (cached on disk under the working directory so repeated bench runs skip
-// the fitting campaign), and the MonetDB-like baseline. Each bench binary
-// regenerates one paper table/figure from the same runs.
+// Builds the SSB database (scale factor from BBPIM_SF, default 0.1),
+// registers the pre-joined relation with a db::Database, and opens one
+// db::Session configured with the bench fitting grid and an on-disk model
+// cache (so repeated bench runs skip the fitting campaign). The session
+// owns the three PIM engines; the MonetDB-like baseline is kept alongside
+// for the mnt-reg star-schema plans the facade does not model. Each bench
+// binary regenerates one paper table/figure from the same runs.
 #pragma once
 
 #include <memory>
@@ -12,10 +14,9 @@
 #include <vector>
 
 #include "baseline/monet.hpp"
+#include "db/db.hpp"
 #include "engine/model_fitter.hpp"
-#include "engine/pim_store.hpp"
 #include "engine/query_exec.hpp"
-#include "pim/module.hpp"
 #include "ssb/dbgen.hpp"
 #include "ssb/queries.hpp"
 
@@ -53,16 +54,25 @@ class BenchWorld {
   explicit BenchWorld(BenchConfig cfg = BenchConfig::from_env());
 
   const BenchConfig& config() const { return cfg_; }
-  const pim::PimConfig& pim_config() const { return pim_cfg_; }
-  const host::HostConfig& host_config() const { return host_cfg_; }
+  const pim::PimConfig& pim_config() const { return session_.options().pim; }
+  const host::HostConfig& host_config() const {
+    return session_.options().host;
+  }
   const ssb::SsbData& data() const { return data_; }
-  const rel::Table& prejoined() const { return prejoined_; }
+  const rel::Table& prejoined() const { return db_.default_target(); }
 
-  engine::PimQueryEngine& engine_of(engine::EngineKind kind);
+  db::Database& database() { return db_; }
+  db::Session& session() { return session_; }
+
+  engine::PimQueryEngine& engine_of(engine::EngineKind kind) {
+    return session_.pim_engine(kind);
+  }
   baseline::MonetLikeEngine& monet() { return *monet_; }
 
   /// Fitted models for an engine kind (disk-cached fitting campaign).
-  const engine::LatencyModels& models(engine::EngineKind kind);
+  const engine::LatencyModels& models(engine::EngineKind kind) {
+    return session_.models(kind);
+  }
 
   /// Raw fit observations (Fig. 4); runs the campaign without the cache.
   engine::ModelFitResult fit_result(engine::EngineKind kind);
@@ -71,25 +81,24 @@ class BenchWorld {
   const std::vector<QueryRun>& run_all();
 
   /// Pages M of the pre-joined relation (per part).
-  std::size_t pages() const { return store_one_->pages_per_part(); }
+  std::size_t pages() {
+    return engine_of(engine::EngineKind::kOneXb).store().pages_per_part();
+  }
 
  private:
-  engine::LatencyModels fit_or_load(engine::EngineKind kind);
-
   BenchConfig cfg_;
-  pim::PimConfig pim_cfg_;
-  host::HostConfig host_cfg_;
   ssb::SsbData data_;
-  rel::Table prejoined_;
-
-  std::unique_ptr<pim::PimModule> module_one_, module_two_, module_pimdb_;
-  std::unique_ptr<engine::PimStore> store_one_, store_two_, store_pimdb_;
-  std::unique_ptr<engine::PimQueryEngine> one_xb_, two_xb_, pimdb_;
+  db::Database db_;
+  db::Session session_;
   std::unique_ptr<baseline::MonetLikeEngine> monet_;
   std::vector<QueryRun> runs_;
 };
 
 /// The fit grid used by all benches (kept moderate so fitting stays fast).
 engine::FitConfig bench_fit_config();
+
+/// The session options every bench shares: bench fitting grid, disk model
+/// cache in the working directory, verbosity from the config.
+db::SessionOptions bench_session_options(const BenchConfig& cfg);
 
 }  // namespace bbpim::bench

@@ -52,11 +52,9 @@ int main() {
     const auto& r = runs[i];
     std::vector<std::string> row{r.id};
     const engine::QueryOutput* outs[] = {&r.one_xb, &r.two_xb, &r.pimdb};
-    const engine::EngineKind kinds[] = {engine::EngineKind::kOneXb,
-                                        engine::EngineKind::kTwoXb,
-                                        engine::EngineKind::kPimdb};
     const std::size_t* paper_k[] = {paper_one, paper_two, paper_pdb};
     for (int e = 0; e < 3; ++e) {
+      const engine::EngineKind kind = engine::kAllEngineKinds[e];
       const auto& st = outs[e]->stats;
       if (st.total_subgroups <= 1) {  // Q1.x: single PIM aggregation
         row.push_back("1");
@@ -75,7 +73,7 @@ int main() {
         in.candidates.push_back(c);
       }
       const engine::GroupByPlan plan =
-          engine::choose_k(world.models(kinds[e]), in);
+          engine::choose_k(world.models(kind), in);
       row.push_back(std::to_string(plan.k));
       row.push_back(std::to_string(paper_k[e][i]));
     }

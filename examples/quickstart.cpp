@@ -1,9 +1,10 @@
 // Quickstart: load a relation into bulk-bitwise PIM and run SQL on it.
 //
-// Builds a small sales table, loads it into a simulated PIM module (one
-// record per crossbar row), compiles a SQL query to bulk-bitwise filter
-// programs + aggregation-circuit passes, and prints the result with the
-// simulated execution costs.
+// The five-line version of the paper's system: register a table with a
+// bbpim::db::Database, open a Session, and execute SQL — the facade parses,
+// binds, loads the relation into the simulated PIM module, fits the
+// Section-IV latency models once (cached for the session), and returns a
+// dictionary-decoded ResultSet carrying the simulated execution costs.
 //
 //   ./examples/quickstart
 #include <iostream>
@@ -12,12 +13,7 @@
 #include "common/rng.hpp"
 #include "common/table_printer.hpp"
 #include "common/units.hpp"
-#include "engine/explain.hpp"
-#include "engine/model_fitter.hpp"
-#include "engine/pim_store.hpp"
-#include "engine/query_exec.hpp"
-#include "pim/module.hpp"
-#include "sql/parser.hpp"
+#include "db/db.hpp"
 
 int main() {
   using namespace bbpim;
@@ -38,43 +34,29 @@ int main() {
     sales.append_row(row);
   }
 
-  // 2. Load it into the PIM module (Table I geometry by default).
-  pim::PimModule module;
-  engine::PimStore store(module, sales);
-  std::cout << "Loaded " << store.record_count() << " records into "
-            << store.pages_per_part() << " hugepages ("
-            << sales.schema().record_bits() << " bits/record)\n";
+  // 2. Register it and open a session. The session lazily loads the table
+  //    into the PIM module (Table I geometry by default) and fits the
+  //    latency models that drive the GROUP-BY planner — no manual wiring.
+  db::Database database;
+  database.register_table(std::move(sales));
+  db::Session session(database);
 
-  // 3. Fit the Section-IV latency models once (drives the GROUP-BY planner).
-  const host::HostConfig hcfg;
-  engine::FitConfig fit;
-  fit.page_counts = {2, 4};
-  fit.ratios = {0.02, 0.2, 0.6};
-  fit.s_values = {2, 3};
-  fit.n_values = {1, 2};
-  engine::PimQueryEngine engine(
-      engine::EngineKind::kOneXb, store, hcfg,
-      engine::fit_latency_models(engine::EngineKind::kOneXb, module.config(),
-                                 hcfg, fit)
-          .models);
-
-  // 4. SQL in, results + simulated costs out.
+  // 3. SQL in, results + simulated costs out.
   const char* sql_text =
       "SELECT region, SUM(quantity * price) AS revenue FROM sales "
       "WHERE quantity BETWEEN 10 AND 40 AND product < 500 "
       "GROUP BY region ORDER BY revenue DESC";
-  std::cout << "\nQuery: " << sql_text << "\n\n";
-  const sql::BoundQuery q = sql::bind(sql::parse(sql_text), sales.schema());
-  std::cout << engine::explain_query(q, store) << "\n";
-  const engine::QueryOutput out = engine.execute(q);
+  std::cout << "Query: " << sql_text << "\n\n";
+  std::cout << session.explain(sql_text) << "\n";
+  const db::ResultSet rs = session.execute(sql_text);
 
-  TablePrinter t({"region", "revenue"});
-  for (const auto& row : out.rows) {
-    t.add_row({region_dict->value(row.group[0]), std::to_string(row.agg)});
+  TablePrinter t({rs.column_name(0), rs.column_name(1)});
+  for (std::size_t i = 0; i < rs.row_count(); ++i) {
+    t.add_row({rs.text(i, 0), rs.text(i, 1)});
   }
   t.print(std::cout);
 
-  const auto& st = out.stats;
+  const auto& st = rs.stats();
   std::cout << "\nSimulated execution: "
             << TablePrinter::fmt(units::ns_to_ms(st.total_ns), 3) << " ms, "
             << TablePrinter::fmt(st.energy_j * 1e3, 3) << " mJ, peak "

@@ -1,24 +1,20 @@
 // SSB analytics session on PIM: the paper's end-to-end flow.
 //
 // Generates the Star Schema Benchmark, pre-joins the star (Section III),
-// loads the pre-joined relation into PIM, and runs one query from each SSB
-// query group, printing result rows next to the MonetDB-like baseline and
-// the simulated costs. A compact tour of deliverable (a) on the paper's own
-// workload.
+// registers the pre-joined relation with a bbpim::db::Database, and runs
+// one query from each SSB query group through the session — the PIM backend
+// next to the MonetDB-like columnar baseline — printing dictionary-decoded
+// result rows and the simulated costs. A compact tour of deliverable (a)
+// on the paper's own workload.
 //
 //   ./examples/ssb_report            (scale factor 0.05)
 //   BBPIM_SF=0.2 ./examples/ssb_report
 #include <cstdlib>
 #include <iostream>
 
-#include "baseline/monet.hpp"
 #include "common/table_printer.hpp"
 #include "common/units.hpp"
-#include "engine/model_fitter.hpp"
-#include "engine/pim_store.hpp"
-#include "engine/query_exec.hpp"
-#include "pim/module.hpp"
-#include "sql/parser.hpp"
+#include "db/db.hpp"
 #include "ssb/dbgen.hpp"
 #include "ssb/queries.hpp"
 
@@ -30,65 +26,49 @@ int main() {
   if (const char* sf = std::getenv("BBPIM_SF")) gen.scale_factor = std::atof(sf);
   std::cout << "Generating SSB at sf=" << gen.scale_factor << "...\n";
   const ssb::SsbData data = ssb::generate(gen);
-  const rel::Table prejoined = ssb::prejoin_ssb(data);
+
+  db::Database database;
+  const rel::Table& prejoined =
+      database.register_table(ssb::prejoin_ssb(data));
   std::cout << "Pre-joined relation: " << prejoined.row_count()
             << " records x " << prejoined.schema().attribute_count()
             << " attributes = " << prejoined.schema().record_bits()
             << " bits/record (fits one 512-bit crossbar row)\n\n";
 
-  pim::PimModule module;
-  engine::PimStore store(module, prejoined);
-  const host::HostConfig hcfg;
-  engine::FitConfig fit;
-  fit.page_counts = {2, 4};
-  fit.ratios = {0.02, 0.2, 0.6};
-  fit.s_values = {2, 4};
-  fit.n_values = {1, 2};
-  engine::PimQueryEngine pim_engine(
-      engine::EngineKind::kOneXb, store, hcfg,
-      engine::fit_latency_models(engine::EngineKind::kOneXb, module.config(),
-                                 hcfg, fit)
-          .models);
-  baseline::MonetLikeEngine monet(data, prejoined);
+  db::Session session = database.connect();
 
   for (const char* id : {"1.1", "2.2", "3.2", "4.1"}) {
     const auto& q = ssb::query(id);
     std::cout << "=== SSB Q" << id << " ===\n" << q.sql << "\n";
-    const sql::BoundQuery bound =
-        sql::bind(sql::parse(q.sql), prejoined.schema());
-    const engine::QueryOutput out = pim_engine.execute(bound);
-    const baseline::BaselineRun mnt = monet.execute_prejoined(bound);
+    const db::PreparedStatement stmt = session.prepare(q.sql);
+    const db::ResultSet pim = stmt.execute(db::BackendKind::kOneXb);
+    const db::ResultSet mnt = stmt.execute(db::BackendKind::kColumnar);
 
     // Print up to five result rows, dictionary-decoded.
     TablePrinter t([&] {
       std::vector<std::string> headers;
-      for (const std::size_t a : bound.group_by) {
-        headers.push_back(prejoined.schema().attribute(a).name);
+      for (std::size_t c = 0; c < pim.column_count(); ++c) {
+        headers.push_back(pim.column_name(c));
       }
-      headers.push_back(bound.agg_alias.empty() ? "agg" : bound.agg_alias);
       return headers;
     }());
-    for (std::size_t i = 0; i < out.rows.size() && i < 5; ++i) {
+    for (std::size_t i = 0; i < pim.row_count() && i < 5; ++i) {
       std::vector<std::string> cells;
-      for (std::size_t g = 0; g < bound.group_by.size(); ++g) {
-        const auto& attr = prejoined.schema().attribute(bound.group_by[g]);
-        cells.push_back(attr.type == rel::DataType::kString
-                            ? attr.dict->value(out.rows[i].group[g])
-                            : std::to_string(out.rows[i].group[g]));
+      for (std::size_t c = 0; c < pim.column_count(); ++c) {
+        cells.push_back(pim.text(i, c));
       }
-      cells.push_back(std::to_string(out.rows[i].agg));
       t.add_row(std::move(cells));
     }
     t.print(std::cout);
-    if (out.rows.size() > 5) {
-      std::cout << "... (" << out.rows.size() << " rows total)\n";
+    if (pim.row_count() > 5) {
+      std::cout << "... (" << pim.row_count() << " rows total)\n";
     }
     std::cout << "PIM (one_xb): "
-              << TablePrinter::fmt(units::ns_to_ms(out.stats.total_ns), 3)
+              << TablePrinter::fmt(units::ns_to_ms(pim.stats().total_ns), 3)
               << " ms | MonetDB-like (pre-joined): "
-              << TablePrinter::fmt(units::ns_to_ms(mnt.model_ns), 3)
+              << TablePrinter::fmt(units::ns_to_ms(mnt.stats().total_ns), 3)
               << " ms | results match: "
-              << (out.rows.size() == mnt.rows.size() ? "yes" : "NO") << "\n\n";
+              << (pim.row_count() == mnt.row_count() ? "yes" : "NO") << "\n\n";
   }
   return 0;
 }

@@ -1,0 +1,100 @@
+#include "db/database.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "db/session.hpp"
+
+namespace bbpim::db {
+
+const rel::Table& Database::add(Entry entry) {
+  const std::string& name = entry.table->name();
+  if (name.empty()) {
+    throw std::invalid_argument("Database::register_table: table has no name");
+  }
+  if (tables_.count(name) != 0) {
+    throw std::invalid_argument("Database::register_table: duplicate table '" +
+                                name + "'");
+  }
+  const rel::Table& ref = *entry.table;
+  tables_.emplace(name, std::move(entry));
+  order_.push_back(name);
+  if (default_target_.empty()) default_target_ = name;
+  ++version_;
+  return ref;
+}
+
+const rel::Table& Database::register_table(rel::Table table,
+                                           LoadPolicy policy) {
+  Entry e;
+  e.owned = std::make_unique<rel::Table>(std::move(table));
+  e.table = e.owned.get();
+  e.policy = std::move(policy);
+  return add(std::move(e));
+}
+
+const rel::Table& Database::attach_table(const rel::Table& table,
+                                         LoadPolicy policy) {
+  Entry e;
+  e.table = &table;
+  e.policy = std::move(policy);
+  return add(std::move(e));
+}
+
+const Database::Entry& Database::entry(std::string_view name) const {
+  const auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    throw std::invalid_argument("Database: unknown table '" +
+                                std::string(name) + "'");
+  }
+  return it->second;
+}
+
+bool Database::has_table(std::string_view name) const {
+  return tables_.find(name) != tables_.end();
+}
+
+const rel::Table& Database::table(std::string_view name) const {
+  return *entry(name).table;
+}
+
+const LoadPolicy& Database::policy(std::string_view name) const {
+  return entry(name).policy;
+}
+
+const LoadPolicy& Database::policy_of(const rel::Table& table) const {
+  for (const auto& [name, e] : tables_) {
+    if (e.table == &table) return e.policy;
+  }
+  throw std::invalid_argument("Database::policy_of: table not registered");
+}
+
+std::vector<std::string> Database::table_names() const { return order_; }
+
+void Database::set_default_target(std::string_view name) {
+  default_target_ = entry(name).table->name();
+  ++version_;
+}
+
+const rel::Table& Database::default_target() const {
+  if (default_target_.empty()) {
+    throw std::invalid_argument("Database: no tables registered");
+  }
+  return table(default_target_);
+}
+
+const rel::Table& Database::resolve_target(
+    const std::vector<std::string>& from) const {
+  for (const std::string& name : from) {
+    if (has_table(name)) return table(name);
+  }
+  return default_target();
+}
+
+Session Database::connect() { return Session(*this); }
+
+Session Database::connect(SessionOptions opts) {
+  return Session(*this, std::move(opts));
+}
+
+}  // namespace bbpim::db

@@ -1,0 +1,95 @@
+// Database: the catalog of the bbpim::db facade.
+//
+// Holds the registered relations (owned, or attached by reference when the
+// caller keeps ownership) together with each table's PIM load policy — how
+// a session places it into crossbars when a PIM backend first touches it.
+// Query targets resolve against the catalog by FROM-list name; SSB-style
+// star queries whose FROM lists only logical source tables fall back to the
+// default target (the pre-joined relation in the paper's setup).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/table.hpp"
+
+namespace bbpim::db {
+
+struct SessionOptions;
+class Session;
+
+/// How a table is placed into PIM when a session loads it.
+struct LoadPolicy {
+  /// Distinct-value statistics cap (PimStore::Options::max_distinct).
+  std::size_t max_distinct = 4096;
+  /// Two-crossbar part assignment; nullptr = the store's default SSB rule
+  /// (fact "lo_*" attributes in part 0, dimension attributes in part 1).
+  std::function<int(const std::string&)> part_of;
+};
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  /// Movable while no session is connected (sessions hold a pointer).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  /// Registers (and takes ownership of) a relation under `table.name()`.
+  /// The first registered table becomes the default query target.
+  /// Throws std::invalid_argument for unnamed or duplicate names.
+  const rel::Table& register_table(rel::Table table, LoadPolicy policy = {});
+
+  /// Registers a caller-owned relation (must outlive the database).
+  const rel::Table& attach_table(const rel::Table& table,
+                                 LoadPolicy policy = {});
+
+  bool has_table(std::string_view name) const;
+  /// Throws std::invalid_argument for unknown names.
+  const rel::Table& table(std::string_view name) const;
+  const LoadPolicy& policy(std::string_view name) const;
+  const LoadPolicy& policy_of(const rel::Table& table) const;
+  /// Registration order.
+  std::vector<std::string> table_names() const;
+
+  /// Default query target for FROM lists naming no registered table.
+  void set_default_target(std::string_view name);
+  const rel::Table& default_target() const;
+
+  /// Resolution rule for a statement's FROM list: the first name registered
+  /// in the catalog wins; otherwise the default target. Throws
+  /// std::invalid_argument when nothing resolves (empty catalog).
+  const rel::Table& resolve_target(const std::vector<std::string>& from) const;
+
+  /// Bumped on every catalog mutation (registration, default-target change);
+  /// sessions use it to invalidate plans whose FROM resolution could change.
+  std::uint64_t catalog_version() const { return version_; }
+
+  /// Opens a session over this catalog (must not outlive the database).
+  Session connect();
+  Session connect(SessionOptions opts);
+
+ private:
+  struct Entry {
+    std::unique_ptr<rel::Table> owned;  ///< null for attached tables
+    const rel::Table* table = nullptr;
+    LoadPolicy policy;
+  };
+
+  const rel::Table& add(Entry entry);
+  const Entry& entry(std::string_view name) const;
+
+  std::map<std::string, Entry, std::less<>> tables_;
+  std::vector<std::string> order_;
+  std::string default_target_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace bbpim::db

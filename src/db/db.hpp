@@ -1,0 +1,11 @@
+// Umbrella header for the bbpim::db facade: Database (catalog + PIM load
+// policy), Session (configs, fitted models, executor registry),
+// PreparedStatement (parse/bind once, re-execute cheaply), and the typed
+// dictionary-decoding ResultSet.
+#pragma once
+
+#include "db/backend.hpp"      // IWYU pragma: export
+#include "db/database.hpp"     // IWYU pragma: export
+#include "db/result_set.hpp"   // IWYU pragma: export
+#include "db/session.hpp"      // IWYU pragma: export
+#include "db/statement.hpp"    // IWYU pragma: export

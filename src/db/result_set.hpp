@@ -1,0 +1,63 @@
+// ResultSet: typed, dictionary-decoding view of a query result.
+//
+// The engines return group-attribute codes (engine::ResultRow); the facade
+// wraps them with the column metadata of the bound query so callers read
+// strings and integers without touching schemas or dictionaries. The
+// simulated execution costs (QueryStats) ride along. Self-contained value
+// type: safe to keep after the session that produced it is gone.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/backend.hpp"
+#include "engine/query_exec.hpp"
+#include "relational/dictionary.hpp"
+
+namespace bbpim::db {
+
+class ResultSet {
+ public:
+  struct Column {
+    std::string name;
+    bool is_agg = false;
+    /// Present for dictionary-encoded (string) group columns.
+    std::shared_ptr<const rel::Dictionary> dict;
+  };
+
+  ResultSet() = default;
+  ResultSet(engine::QueryOutput out, std::vector<Column> columns,
+            BackendKind backend);
+
+  std::size_t row_count() const { return out_.rows.size(); }
+  std::size_t column_count() const { return columns_.size(); }
+  const std::string& column_name(std::size_t col) const;
+  bool is_agg_column(std::size_t col) const;
+  std::optional<std::size_t> column_index(std::string_view name) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Raw attribute code of a group column; the aggregate cast to uint64.
+  std::uint64_t code(std::size_t row, std::size_t col) const;
+  /// Signed value: the aggregate, or a group code (exact for int columns).
+  std::int64_t integer(std::size_t row, std::size_t col) const;
+  /// Display form: dictionary-decoded for string columns, numeric otherwise.
+  std::string text(std::size_t row, std::size_t col) const;
+
+  BackendKind backend() const { return backend_; }
+  const engine::QueryStats& stats() const { return out_.stats; }
+  const std::vector<engine::ResultRow>& rows() const { return out_.rows; }
+  const engine::QueryOutput& output() const { return out_; }
+
+ private:
+  const engine::ResultRow& row(std::size_t r) const;
+
+  engine::QueryOutput out_;
+  std::vector<Column> columns_;
+  BackendKind backend_ = BackendKind::kReference;
+};
+
+}  // namespace bbpim::db

@@ -1,0 +1,334 @@
+#include "db/session.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "baseline/monet.hpp"
+#include "baseline/reference.hpp"
+#include "engine/explain.hpp"
+#include "engine/pim_store.hpp"
+#include "pim/module.hpp"
+#include "sql/parser.hpp"
+#include "ssb/dbgen.hpp"
+
+namespace bbpim::db {
+namespace {
+
+std::vector<ResultSet::Column> result_columns(const sql::BoundQuery& q,
+                                              const rel::Schema& schema) {
+  std::vector<ResultSet::Column> cols;
+  for (const std::size_t attr : q.group_by) {
+    const rel::Attribute& a = schema.attribute(attr);
+    cols.push_back({a.name, false, a.dict});
+  }
+  ResultSet::Column agg;
+  agg.name = q.agg_alias.empty() ? "agg" : q.agg_alias;
+  agg.is_agg = true;
+  cols.push_back(std::move(agg));
+  return cols;
+}
+
+/// PIM backends: module + store built at first touch, models fitted only
+/// when a query actually needs the GROUP-BY planner.
+class PimExecutor final : public Executor {
+ public:
+  PimExecutor(Session& session, engine::EngineKind kind,
+              const rel::Table& table, const LoadPolicy& policy)
+      : session_(&session),
+        kind_(kind),
+        table_(&table),
+        module_(session.options().pim),
+        store_(module_, table,
+               [&] {
+                 engine::PimStore::Options o;
+                 o.two_crossbar = kind == engine::EngineKind::kTwoXb;
+                 o.max_distinct = policy.max_distinct;
+                 if (policy.part_of) o.part_of = policy.part_of;
+                 return o;
+               }()),
+        engine_(kind, store_, session.options().host) {
+    if (session.options().verbose) {
+      std::cerr << "[db] loaded '" << table.name() << "' into PIM ("
+                << engine::engine_kind_name(kind) << "): "
+                << store_.record_count() << " records, "
+                << store_.pages_per_part() << " pages/part\n";
+    }
+  }
+
+  BackendKind backend() const override { return backend_of(kind_); }
+  const rel::Table& target() const override { return *table_; }
+
+  engine::QueryOutput execute(const sql::BoundQuery& q,
+                              const engine::ExecOptions& opts) override {
+    // The planner (Equation 3) is the only consumer of the fitted models;
+    // forced-k and ungrouped queries run model-free, exactly as the seed's
+    // ablation benches did.
+    if (q.has_group_by() && !opts.force_k.has_value()) ensure_models();
+    return engine_.execute(q, opts);
+  }
+
+  std::string explain(const sql::BoundQuery& q) override {
+    return engine::explain_query(q, store_);
+  }
+
+  void ensure_models() {
+    if (!engine_.models().fitted()) {
+      engine_.set_models(session_->models(kind_));
+    }
+  }
+
+  engine::PimQueryEngine& engine() { return engine_; }
+
+ private:
+  Session* session_;
+  engine::EngineKind kind_;
+  const rel::Table* table_;
+  pim::PimModule module_;
+  engine::PimStore store_;
+  engine::PimQueryEngine engine_;
+};
+
+/// MonetDB-like columnar cost model over the target relation (mnt-join).
+class ColumnarExecutor final : public Executor {
+ public:
+  explicit ColumnarExecutor(const rel::Table& table)
+      : table_(&table), monet_(no_dimensions_, table) {}
+
+  BackendKind backend() const override { return BackendKind::kColumnar; }
+  const rel::Table& target() const override { return *table_; }
+
+  engine::QueryOutput execute(const sql::BoundQuery& q,
+                              const engine::ExecOptions&) override {
+    baseline::BaselineRun run = monet_.execute_prejoined(q);
+    engine::QueryOutput out;
+    out.rows = std::move(run.rows);
+    out.stats.total_ns = run.model_ns;
+    out.stats.selected_records = run.selected_records;
+    out.stats.selectivity =
+        table_->row_count() > 0
+            ? static_cast<double>(run.selected_records) / table_->row_count()
+            : 0.0;
+    return out;
+  }
+
+ private:
+  const rel::Table* table_;
+  ssb::SsbData no_dimensions_;  ///< star-plan dimensions unused by mnt-join
+  baseline::MonetLikeEngine monet_;
+};
+
+/// Scalar reference scan: exact rows, no cost model.
+class ReferenceExecutor final : public Executor {
+ public:
+  explicit ReferenceExecutor(const rel::Table& table) : table_(&table) {}
+
+  BackendKind backend() const override { return BackendKind::kReference; }
+  const rel::Table& target() const override { return *table_; }
+
+  engine::QueryOutput execute(const sql::BoundQuery& q,
+                              const engine::ExecOptions&) override {
+    baseline::ReferenceRun run = baseline::scan_execute(*table_, q);
+    engine::QueryOutput out;
+    out.rows = std::move(run.rows);
+    out.stats.selected_records = run.selected_records;
+    out.stats.selectivity =
+        table_->row_count() > 0
+            ? static_cast<double>(run.selected_records) / table_->row_count()
+            : 0.0;
+    return out;
+  }
+
+ private:
+  const rel::Table* table_;
+};
+
+}  // namespace
+
+engine::FitConfig quick_fit_config() {
+  engine::FitConfig fit;
+  fit.page_counts = {2, 4};
+  fit.ratios = {0.02, 0.2, 0.6};
+  fit.s_values = {2, 4};
+  fit.n_values = {1, 2};
+  return fit;
+}
+
+// --- ModelCache ------------------------------------------------------------
+
+ModelCache::ModelCache(std::string dir, std::string tag)
+    : dir_(std::move(dir)), tag_(std::move(tag)) {}
+
+std::string ModelCache::cache_path(engine::EngineKind kind) const {
+  std::ostringstream ss;
+  ss << dir_ << "/bbpim_models_" << engine::engine_kind_name(kind) << tag_
+     << ".txt";
+  return ss.str();
+}
+
+bool ModelCache::contains(engine::EngineKind kind) const {
+  return fitted_.find(kind) != fitted_.end();
+}
+
+void ModelCache::put(engine::EngineKind kind, engine::LatencyModels models) {
+  fitted_[kind] = std::move(models);
+}
+
+const engine::LatencyModels& ModelCache::get_or_fit(
+    engine::EngineKind kind, const pim::PimConfig& pim,
+    const host::HostConfig& host, const engine::FitConfig& fit, bool verbose) {
+  const auto it = fitted_.find(kind);
+  if (it != fitted_.end()) return it->second;
+
+  if (!dir_.empty()) {
+    if (std::ifstream in(cache_path(kind)); in.good()) {
+      if (verbose) {
+        std::cerr << "[db] loading cached models from " << cache_path(kind)
+                  << "\n";
+      }
+      return fitted_[kind] = engine::LatencyModels::load(in);
+    }
+  }
+  if (verbose) {
+    std::cerr << "[db] fitting latency models for "
+              << engine::engine_kind_name(kind) << "...\n";
+  }
+  engine::LatencyModels models =
+      engine::fit_latency_models(kind, pim, host, fit).models;
+  if (!dir_.empty()) {
+    if (std::ofstream out(cache_path(kind)); out.good()) models.save(out);
+  }
+  return fitted_[kind] = std::move(models);
+}
+
+// --- PreparedStatement -----------------------------------------------------
+
+ResultSet PreparedStatement::execute(const engine::ExecOptions& opts) const {
+  if (session_ == nullptr) {
+    throw std::logic_error("PreparedStatement: not prepared by a session");
+  }
+  return execute(session_->default_backend(), opts);
+}
+
+ResultSet PreparedStatement::execute(BackendKind backend,
+                                     const engine::ExecOptions& opts) const {
+  if (session_ == nullptr) {
+    throw std::logic_error("PreparedStatement: not prepared by a session");
+  }
+  Executor& ex = session_->executor_for(backend, *plan_->target);
+  engine::QueryOutput out = ex.execute(plan_->bound, opts);
+  return ResultSet(std::move(out),
+                   result_columns(plan_->bound, plan_->target->schema()),
+                   backend);
+}
+
+// --- Session ---------------------------------------------------------------
+
+std::string Executor::explain(const sql::BoundQuery&) {
+  throw std::invalid_argument(std::string("explain: backend '") +
+                              backend_name(backend()) +
+                              "' has no physical plan rendering");
+}
+
+Session::Session(Database& db, SessionOptions opts)
+    : db_(&db), opts_(std::move(opts)) {
+  model_cache_ = opts_.models != nullptr
+                     ? opts_.models
+                     : std::make_shared<ModelCache>(opts_.model_cache_dir,
+                                                    opts_.model_cache_tag);
+}
+
+Session::~Session() = default;
+
+PreparedStatement Session::prepare(std::string_view sql_text) {
+  // Catalog mutations can change FROM resolution; drop plans bound against
+  // the old catalog rather than serving a stale target.
+  if (catalog_version_ != db_->catalog_version()) {
+    plans_.clear();
+    catalog_version_ = db_->catalog_version();
+  }
+  auto it = plans_.find(sql_text);
+  if (it == plans_.end()) {
+    auto plan = std::make_shared<Plan>();
+    plan->sql = std::string(sql_text);
+    const sql::SelectStmt stmt = sql::parse(plan->sql);
+    const rel::Table& target = db_->resolve_target(stmt.from);
+    plan->bound = sql::bind(stmt, target.schema());
+    plan->target = &target;
+    it = plans_.emplace(plan->sql, std::move(plan)).first;
+  }
+  return PreparedStatement(*this, it->second);
+}
+
+ResultSet Session::execute(std::string_view sql_text,
+                           const engine::ExecOptions& opts) {
+  return prepare(sql_text).execute(opts);
+}
+
+ResultSet Session::execute(std::string_view sql_text, BackendKind backend,
+                           const engine::ExecOptions& opts) {
+  return prepare(sql_text).execute(backend, opts);
+}
+
+std::string Session::explain(std::string_view sql_text) {
+  return explain(sql_text, opts_.default_backend);
+}
+
+std::string Session::explain(std::string_view sql_text, BackendKind backend) {
+  const PreparedStatement st = prepare(sql_text);
+  return executor_for(backend, st.target()).explain(st.bound());
+}
+
+void Session::set_default_backend(BackendKind backend) {
+  opts_.default_backend = backend;
+}
+
+Executor& Session::executor(BackendKind backend) {
+  return executor_for(backend, db_->default_target());
+}
+
+Executor& Session::executor(BackendKind backend, std::string_view table) {
+  return executor_for(backend, db_->table(table));
+}
+
+Executor& Session::executor_for(BackendKind backend, const rel::Table& table) {
+  const auto key = std::make_pair(backend, &table);
+  auto it = executors_.find(key);
+  if (it != executors_.end()) return *it->second;
+
+  std::unique_ptr<Executor> ex;
+  if (const auto kind = engine_kind_of(backend)) {
+    ex = std::make_unique<PimExecutor>(*this, *kind, table,
+                                       db_->policy_of(table));
+  } else if (backend == BackendKind::kColumnar) {
+    ex = std::make_unique<ColumnarExecutor>(table);
+  } else {
+    ex = std::make_unique<ReferenceExecutor>(table);
+  }
+  return *executors_.emplace(key, std::move(ex)).first->second;
+}
+
+const engine::LatencyModels& Session::models(engine::EngineKind kind) {
+  return model_cache_->get_or_fit(kind, opts_.pim, opts_.host, opts_.fit,
+                                  opts_.verbose);
+}
+
+void Session::set_models(engine::EngineKind kind, engine::LatencyModels m) {
+  model_cache_->put(kind, std::move(m));
+}
+
+engine::PimQueryEngine& Session::pim_engine(engine::EngineKind kind) {
+  return static_cast<PimExecutor&>(
+             executor_for(backend_of(kind), db_->default_target()))
+      .engine();
+}
+
+engine::PimQueryEngine& Session::pim_engine(engine::EngineKind kind,
+                                            std::string_view table) {
+  return static_cast<PimExecutor&>(
+             executor_for(backend_of(kind), db_->table(table)))
+      .engine();
+}
+
+}  // namespace bbpim::db

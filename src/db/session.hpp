@@ -1,0 +1,154 @@
+// Session: one facade over parsing, binding, PIM loading, model fitting,
+// and multi-backend execution — "SQL in, results + simulated costs out".
+//
+// A session connects to a Database catalog and owns everything the seed's
+// call sites used to wire by hand: the host/PIM configuration, the fitted
+// Section-IV latency models (fit once, cached in memory and optionally on
+// disk), and a lazily built registry of executors keyed by backend and
+// target relation. The low-level PimQueryEngine API stays intact underneath
+// — the session is a layer, not a fork — and is reachable through
+// pim_engine() for benches that need forced-k sweeps or direct store access.
+//
+//   db::Database database;
+//   database.register_table(std::move(sales));
+//   db::Session session(database);
+//   db::ResultSet rs = session.execute(
+//       "SELECT region, SUM(qty) FROM sales GROUP BY region");
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "db/backend.hpp"
+#include "db/database.hpp"
+#include "db/result_set.hpp"
+#include "db/statement.hpp"
+#include "engine/model_fitter.hpp"
+#include "engine/query_exec.hpp"
+#include "host/config.hpp"
+#include "pim/config.hpp"
+
+namespace bbpim::db {
+
+/// The facade's default fitting grid: small enough that a first GROUP-BY
+/// query fits in seconds, dense enough for sane planner decisions (the
+/// grid every seed example hand-rolled). Benches override it.
+engine::FitConfig quick_fit_config();
+
+/// Fit-once-and-cache registry for the Section-IV latency models, keyed by
+/// engine kind. Shareable across sessions whose pim/host/fit configurations
+/// match (the models depend on those, not on the data); optionally backed
+/// by a directory of plain-text cache files.
+class ModelCache {
+ public:
+  ModelCache() = default;
+  /// `dir` of "" disables disk persistence; `tag` disambiguates cache files
+  /// fitted under different configurations.
+  explicit ModelCache(std::string dir, std::string tag = {});
+
+  bool contains(engine::EngineKind kind) const;
+  void put(engine::EngineKind kind, engine::LatencyModels models);
+
+  /// Memory hit, else disk hit, else runs the fitting campaign (and saves).
+  const engine::LatencyModels& get_or_fit(engine::EngineKind kind,
+                                          const pim::PimConfig& pim,
+                                          const host::HostConfig& host,
+                                          const engine::FitConfig& fit,
+                                          bool verbose = false);
+
+ private:
+  std::string cache_path(engine::EngineKind kind) const;
+
+  std::string dir_;
+  std::string tag_;
+  std::map<engine::EngineKind, engine::LatencyModels> fitted_;
+};
+
+struct SessionOptions {
+  host::HostConfig host;
+  pim::PimConfig pim;
+  engine::FitConfig fit = quick_fit_config();
+  BackendKind default_backend = BackendKind::kOneXb;
+  /// Shared fit-once cache; a private one is created when null.
+  std::shared_ptr<ModelCache> models;
+  /// Disk cache location/tag for the private ModelCache ("" = memory only).
+  /// Ignored when `models` is provided.
+  std::string model_cache_dir;
+  std::string model_cache_tag;
+  bool verbose = false;
+};
+
+/// Uniform execution interface over one (backend, relation) pair.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual BackendKind backend() const = 0;
+  virtual const rel::Table& target() const = 0;
+  virtual engine::QueryOutput execute(const sql::BoundQuery& q,
+                                      const engine::ExecOptions& opts) = 0;
+  /// Physical-plan rendering; throws std::invalid_argument for backends
+  /// without one (the host baselines).
+  virtual std::string explain(const sql::BoundQuery& q);
+};
+
+class Session {
+ public:
+  explicit Session(Database& db, SessionOptions opts = {});
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // --- statements ---------------------------------------------------------
+  /// Parses, resolves the FROM list against the catalog, binds, and caches
+  /// the plan by SQL text. Throws std::invalid_argument on syntax errors,
+  /// unknown columns, type mismatches, or multiple aggregates.
+  PreparedStatement prepare(std::string_view sql_text);
+  ResultSet execute(std::string_view sql_text,
+                    const engine::ExecOptions& opts = {});
+  ResultSet execute(std::string_view sql_text, BackendKind backend,
+                    const engine::ExecOptions& opts = {});
+  /// EXPLAIN on the default (or given) PIM backend.
+  std::string explain(std::string_view sql_text);
+  std::string explain(std::string_view sql_text, BackendKind backend);
+
+  // --- backends -----------------------------------------------------------
+  BackendKind default_backend() const { return opts_.default_backend; }
+  void set_default_backend(BackendKind backend);
+  /// The executor of `backend` over the default target relation.
+  Executor& executor(BackendKind backend);
+  Executor& executor(BackendKind backend, std::string_view table);
+  Executor& executor_for(BackendKind backend, const rel::Table& table);
+
+  // --- models (fit-once-and-cache) ----------------------------------------
+  const engine::LatencyModels& models(engine::EngineKind kind);
+  void set_models(engine::EngineKind kind, engine::LatencyModels m);
+  const std::shared_ptr<ModelCache>& model_cache() { return model_cache_; }
+
+  // --- low-level escape hatches ------------------------------------------
+  /// The engine (store loaded) behind a PIM backend over the default target
+  /// relation. Models are fitted lazily when a facade execution needs the
+  /// GROUP-BY planner; to run grouped queries directly on the returned
+  /// engine, seed it first: `eng.set_models(session.models(kind))`.
+  engine::PimQueryEngine& pim_engine(engine::EngineKind kind);
+  engine::PimQueryEngine& pim_engine(engine::EngineKind kind,
+                                     std::string_view table);
+
+  Database& database() { return *db_; }
+  const SessionOptions& options() const { return opts_; }
+
+ private:
+  Database* db_;
+  SessionOptions opts_;
+  std::shared_ptr<ModelCache> model_cache_;
+  std::uint64_t catalog_version_ = 0;
+  std::map<std::string, std::shared_ptr<const Plan>, std::less<>> plans_;
+  std::map<std::pair<BackendKind, const rel::Table*>,
+           std::unique_ptr<Executor>>
+      executors_;
+};
+
+}  // namespace bbpim::db

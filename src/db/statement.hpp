@@ -1,0 +1,61 @@
+// PreparedStatement: parse/bind once, execute many times.
+//
+// A cheap copyable handle over an immutable plan in the session's cache
+// (keyed by SQL text). Re-execution skips the front-end entirely; the
+// simulator is deterministic, so re-running a statement reproduces rows
+// and stats exactly.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "db/backend.hpp"
+#include "db/result_set.hpp"
+#include "engine/query_exec.hpp"
+#include "relational/table.hpp"
+#include "sql/logical_plan.hpp"
+
+namespace bbpim::db {
+
+class Session;
+
+/// A parsed and bound query pinned to its target relation. Immutable and
+/// shared between the session's plan cache and every statement handle.
+struct Plan {
+  std::string sql;
+  sql::BoundQuery bound;
+  const rel::Table* target = nullptr;
+};
+
+class PreparedStatement {
+ public:
+  PreparedStatement() = default;
+
+  /// Executes on the session's default backend.
+  ResultSet execute(const engine::ExecOptions& opts = {}) const;
+  /// Executes on an explicit backend.
+  ResultSet execute(BackendKind backend,
+                    const engine::ExecOptions& opts = {}) const;
+
+  const std::string& sql() const { return plan().sql; }
+  const sql::BoundQuery& bound() const { return plan().bound; }
+  const rel::Table& target() const { return *plan().target; }
+
+ private:
+  friend class Session;
+
+  const Plan& plan() const {
+    if (plan_ == nullptr) {
+      throw std::logic_error("PreparedStatement: not prepared by a session");
+    }
+    return *plan_;
+  }
+  PreparedStatement(Session& session, std::shared_ptr<const Plan> plan)
+      : session_(&session), plan_(std::move(plan)) {}
+
+  Session* session_ = nullptr;
+  std::shared_ptr<const Plan> plan_;
+};
+
+}  // namespace bbpim::db

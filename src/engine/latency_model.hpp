@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <optional>
+#include <string_view>
 
 #include "common/fit.hpp"
 #include "common/units.hpp"
@@ -27,7 +29,15 @@ enum class EngineKind : std::uint8_t {
   kPimdb,  ///< single row, aggregation via pure bulk-bitwise logic [1]
 };
 
+/// Every engine variant, in paper order — the canonical iteration set for
+/// benches and tests ("for each engine kind ...").
+inline constexpr EngineKind kAllEngineKinds[] = {
+    EngineKind::kOneXb, EngineKind::kTwoXb, EngineKind::kPimdb};
+
 const char* engine_kind_name(EngineKind kind);
+
+/// Inverse of engine_kind_name; nullopt for unknown names.
+std::optional<EngineKind> parse_engine_kind(std::string_view name);
 
 struct LatencyModels {
   /// Per s: slope of T_host-gb in M as a function of r (Equation 1).

@@ -1,0 +1,124 @@
+// Parity: the db facade is a layer over PimQueryEngine, not a fork.
+//
+// Runs the full SSB query set twice — once through a db::Session, once
+// through hand-wired PimStore + PimQueryEngine + fit_latency_models exactly
+// as the seed's call sites did — and asserts byte-identical
+// QueryOutput.rows for every query and engine variant.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "db/db.hpp"
+#include "engine/model_fitter.hpp"
+#include "engine/pim_store.hpp"
+#include "engine/query_exec.hpp"
+#include "pim/module.hpp"
+#include "sql/parser.hpp"
+#include "ssb/dbgen.hpp"
+#include "ssb/queries.hpp"
+
+namespace bbpim {
+namespace {
+
+using engine::EngineKind;
+
+struct ParityWorld {
+  static ParityWorld& instance() {
+    static ParityWorld w;
+    return w;
+  }
+
+  ssb::SsbData data;
+  db::Database database;
+  std::unique_ptr<db::Session> session;
+
+  // The seed's 7-step wiring ritual, reproduced verbatim as the oracle.
+  pim::PimConfig cfg;
+  host::HostConfig hcfg;
+  std::unique_ptr<pim::PimModule> modules[3];
+  std::unique_ptr<engine::PimStore> stores[3];
+  std::unique_ptr<engine::PimQueryEngine> raw[3];
+
+  const rel::Table& prejoined() { return database.default_target(); }
+
+  engine::PimQueryEngine& raw_engine(EngineKind kind) {
+    return *raw[static_cast<int>(kind)];
+  }
+
+ private:
+  ParityWorld() {
+    ssb::SsbConfig gen;
+    gen.scale_factor = 0.02;
+    gen.seed = 4321;
+    data = ssb::generate(gen);
+    database.register_table(ssb::prejoin_ssb(data));
+
+    db::SessionOptions opts;  // facade defaults: quick fit grid
+    session = std::make_unique<db::Session>(database, opts);
+
+    for (const EngineKind kind : engine::kAllEngineKinds) {
+      const int i = static_cast<int>(kind);
+      modules[i] = std::make_unique<pim::PimModule>(cfg);
+      engine::PimStore::Options sopt;
+      sopt.two_crossbar = kind == EngineKind::kTwoXb;
+      stores[i] =
+          std::make_unique<engine::PimStore>(*modules[i], prejoined(), sopt);
+      raw[i] = std::make_unique<engine::PimQueryEngine>(
+          kind, *stores[i], hcfg,
+          engine::fit_latency_models(kind, cfg, hcfg, db::quick_fit_config())
+              .models);
+    }
+  }
+};
+
+struct ParityCase {
+  const char* id;
+  EngineKind kind;
+};
+
+class FacadeMatchesRawEngine : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(FacadeMatchesRawEngine, ByteIdenticalRows) {
+  const auto [id, kind] = GetParam();
+  ParityWorld& w = ParityWorld::instance();
+  const auto& q = ssb::query(id);
+
+  const db::ResultSet facade =
+      w.session->execute(q.sql, db::backend_of(kind));
+  const sql::BoundQuery bound =
+      sql::bind(sql::parse(q.sql), w.prejoined().schema());
+  const engine::QueryOutput raw = w.raw_engine(kind).execute(bound);
+
+  ASSERT_EQ(facade.row_count(), raw.rows.size());
+  for (std::size_t i = 0; i < raw.rows.size(); ++i) {
+    ASSERT_EQ(facade.rows()[i].group, raw.rows[i].group) << "row " << i;
+    ASSERT_EQ(facade.rows()[i].agg, raw.rows[i].agg) << "row " << i;
+  }
+  // Same plan, same simulated machine: the cost side must agree too.
+  EXPECT_EQ(facade.stats().selected_records, raw.stats.selected_records);
+  EXPECT_EQ(facade.stats().pim_subgroups, raw.stats.pim_subgroups);
+}
+
+std::vector<ParityCase> parity_cases() {
+  std::vector<ParityCase> cases;
+  for (const auto& q : ssb::queries()) {
+    for (const EngineKind kind : engine::kAllEngineKinds) {
+      cases.push_back({q.id.data(), kind});
+    }
+  }
+  return cases;
+}
+
+std::string parity_name(const ::testing::TestParamInfo<ParityCase>& info) {
+  std::string id(info.param.id);
+  for (char& c : id) {
+    if (c == '.') c = '_';
+  }
+  return "Q" + id + "_" + engine_kind_name(info.param.kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ssb, FacadeMatchesRawEngine,
+                         ::testing::ValuesIn(parity_cases()), parity_name);
+
+}  // namespace
+}  // namespace bbpim

@@ -1,0 +1,327 @@
+// Tests for the bbpim::db facade: catalog registration and target
+// resolution, SQL error propagation, prepared-statement re-execution,
+// ResultSet decoding, model-cache sharing, backend registry helpers, and
+// cross-backend agreement with the scalar reference on a seeded query set.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "db/db.hpp"
+#include "engine_test_util.hpp"
+
+namespace bbpim {
+namespace {
+
+db::LoadPolicy synthetic_policy() {
+  db::LoadPolicy policy;
+  policy.part_of = [](const std::string& name) {
+    return name.rfind("f_", 0) == 0 ? 0 : 1;
+  };
+  return policy;
+}
+
+db::SessionOptions fast_options() {
+  db::SessionOptions opts;
+  opts.pim = testutil::small_pim_config();
+  // The fitting campaign's synthetic relations carry a 64-bit value field
+  // plus its sum-result slot — wider than the 128-column test geometry.
+  opts.pim.crossbar_cols = 256;
+  return opts;
+}
+
+/// A database holding one seeded synthetic relation.
+struct FacadeFixture {
+  db::Database database;
+  db::Session session;
+
+  explicit FacadeFixture(std::size_t rows = 600, std::uint64_t seed = 99,
+                         db::SessionOptions opts = fast_options())
+      : session([&]() -> db::Database& {
+          database.register_table(testutil::make_synthetic_table(rows, seed),
+                                  synthetic_policy());
+          return database;
+        }(), std::move(opts)) {}
+};
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(Database, RegistersResolvesAndRejectsDuplicates) {
+  db::Database database;
+  const rel::Table& t =
+      database.register_table(testutil::make_synthetic_table(100, 5));
+  EXPECT_EQ(t.name(), "synthetic");
+  EXPECT_TRUE(database.has_table("synthetic"));
+  EXPECT_EQ(&database.table("synthetic"), &t);
+  EXPECT_EQ(&database.default_target(), &t);
+  EXPECT_THROW(database.register_table(testutil::make_synthetic_table(10, 6)),
+               std::invalid_argument);
+  EXPECT_THROW(database.table("nope"), std::invalid_argument);
+
+  // FROM resolution: registered names win, unknown names fall back to the
+  // default target (the SSB star queries name only logical source tables).
+  EXPECT_EQ(&database.resolve_target({"synthetic"}), &t);
+  EXPECT_EQ(&database.resolve_target({"lineorder", "date"}), &t);
+}
+
+TEST(Database, AttachTableDoesNotCopy) {
+  const rel::Table external = testutil::make_synthetic_table(50, 7);
+  db::Database database;
+  const rel::Table& attached = database.attach_table(external);
+  EXPECT_EQ(&attached, &external);
+}
+
+TEST(Database, UnnamedTableRejected) {
+  db::Database database;
+  EXPECT_THROW(database.register_table(
+                   rel::Table(rel::Schema(std::vector<rel::Attribute>{}), "")),
+               std::invalid_argument);
+  EXPECT_THROW(database.default_target(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SQL error paths through the facade
+// ---------------------------------------------------------------------------
+
+TEST(SessionErrors, FrontEndErrorsThrowInvalidArgument) {
+  FacadeFixture fx;
+  // Syntax error.
+  EXPECT_THROW(fx.session.prepare("FROM synthetic"), std::invalid_argument);
+  // Unknown column.
+  EXPECT_THROW(fx.session.prepare("SELECT SUM(zzz) FROM synthetic"),
+               std::invalid_argument);
+  // Type mismatch: integer column compared to a string literal.
+  EXPECT_THROW(
+      fx.session.prepare("SELECT SUM(f_val) FROM synthetic WHERE f_key = 'x'"),
+      std::invalid_argument);
+  // More than one aggregate.
+  EXPECT_THROW(
+      fx.session.prepare("SELECT SUM(f_val), SUM(f_val2) FROM synthetic"),
+      std::invalid_argument);
+  // Non-grouped plain column.
+  EXPECT_THROW(fx.session.prepare("SELECT f_val, SUM(f_val2) FROM synthetic"),
+               std::invalid_argument);
+}
+
+TEST(SessionErrors, ExplainOnHostBackendsThrows) {
+  FacadeFixture fx;
+  EXPECT_THROW(fx.session.explain("SELECT SUM(f_val) FROM synthetic",
+                                  db::BackendKind::kReference),
+               std::invalid_argument);
+  EXPECT_FALSE(fx.session
+                   .explain("SELECT SUM(f_val) FROM synthetic",
+                            db::BackendKind::kOneXb)
+                   .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements
+// ---------------------------------------------------------------------------
+
+TEST(PreparedStatement, ReexecutionReturnsIdenticalRowsAndStats) {
+  FacadeFixture fx;
+  const char* sql_text =
+      "SELECT f_gid, SUM(f_val) AS total FROM synthetic "
+      "WHERE f_key < 2000 GROUP BY f_gid ORDER BY total DESC";
+  const db::PreparedStatement stmt = fx.session.prepare(sql_text);
+  const db::ResultSet a = stmt.execute();
+  const db::ResultSet b = stmt.execute();
+  ASSERT_EQ(a.row_count(), b.row_count());
+  for (std::size_t i = 0; i < a.row_count(); ++i) {
+    EXPECT_EQ(a.rows()[i].group, b.rows()[i].group);
+    EXPECT_EQ(a.rows()[i].agg, b.rows()[i].agg);
+  }
+  EXPECT_EQ(a.stats().total_ns, b.stats().total_ns);
+  EXPECT_EQ(a.stats().selected_records, b.stats().selected_records);
+  EXPECT_EQ(a.stats().pim_subgroups, b.stats().pim_subgroups);
+  EXPECT_EQ(a.stats().energy_j, b.stats().energy_j);
+}
+
+TEST(PreparedStatement, PlanCacheReturnsSamePlanForSameText) {
+  FacadeFixture fx;
+  const char* sql_text = "SELECT SUM(f_val) FROM synthetic WHERE f_key < 100";
+  const db::PreparedStatement a = fx.session.prepare(sql_text);
+  const db::PreparedStatement b = fx.session.prepare(sql_text);
+  EXPECT_EQ(&a.bound(), &b.bound());  // shared cached plan, bound once
+}
+
+TEST(PreparedStatement, DefaultConstructedThrowsInsteadOfCrashing) {
+  db::PreparedStatement stmt;
+  EXPECT_THROW(stmt.sql(), std::logic_error);
+  EXPECT_THROW(stmt.bound(), std::logic_error);
+  EXPECT_THROW(stmt.target(), std::logic_error);
+  EXPECT_THROW(stmt.execute(), std::logic_error);
+}
+
+TEST(PreparedStatement, CatalogMutationInvalidatesCachedPlans) {
+  db::Database database;
+  database.register_table(testutil::make_synthetic_table(200, 44),
+                          synthetic_policy());
+  db::Session session(database, fast_options());
+  // "t2" is unknown, so FROM resolution falls back to the default target.
+  const char* sql_text = "SELECT SUM(f_val) FROM t2 WHERE f_key < 100";
+  const db::PreparedStatement before = session.prepare(sql_text);
+  EXPECT_EQ(&before.target(), &database.table("synthetic"));
+
+  // Register t2 (same schema, different rows): the same SQL text must now
+  // bind against t2, not serve the stale cached plan.
+  rel::Table t2 = testutil::make_synthetic_table(80, 45);
+  const rel::Table& t2_ref = database.register_table(
+      rel::Table(t2.schema(), "t2"), synthetic_policy());
+  const db::PreparedStatement after = session.prepare(sql_text);
+  EXPECT_EQ(&after.target(), &t2_ref);
+}
+
+// ---------------------------------------------------------------------------
+// ResultSet decoding
+// ---------------------------------------------------------------------------
+
+TEST(ResultSetDecode, ColumnsNamesAndValues) {
+  auto dict = std::make_shared<const rel::Dictionary>(
+      rel::Dictionary::from_values({"north", "south"}));
+  rel::Table t(rel::Schema({{"region", rel::DataType::kString, 1, dict},
+                            {"v", rel::DataType::kInt, 8, nullptr}}),
+               "regions");
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    const std::uint64_t row[] = {i % 2, i};
+    t.append_row(row);
+  }
+  db::Database database;
+  database.register_table(std::move(t));
+  db::Session session(database, fast_options());
+
+  const db::ResultSet rs = session.execute(
+      "SELECT region, SUM(v) AS total FROM regions GROUP BY region "
+      "ORDER BY region",
+      db::BackendKind::kReference);
+  ASSERT_EQ(rs.column_count(), 2u);
+  EXPECT_EQ(rs.column_name(0), "region");
+  EXPECT_EQ(rs.column_name(1), "total");
+  EXPECT_FALSE(rs.is_agg_column(0));
+  EXPECT_TRUE(rs.is_agg_column(1));
+  EXPECT_EQ(rs.column_index("total"), std::make_optional<std::size_t>(1));
+  EXPECT_EQ(rs.column_index("nope"), std::nullopt);
+
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.text(0, 0), "north");  // codes 0,2,...,8 -> sum 20
+  EXPECT_EQ(rs.integer(0, 1), 20);
+  EXPECT_EQ(rs.text(1, 0), "south");  // codes 1,3,...,9 -> sum 25
+  EXPECT_EQ(rs.text(1, 1), "25");
+  EXPECT_EQ(rs.code(1, 0), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry
+// ---------------------------------------------------------------------------
+
+TEST(BackendRegistry, NamesRoundTrip) {
+  for (const db::BackendKind kind : db::all_backends()) {
+    EXPECT_EQ(db::parse_backend(db::backend_name(kind)), kind);
+  }
+  EXPECT_EQ(db::parse_backend("bogus"), std::nullopt);
+  EXPECT_EQ(db::all_backends().size(), 5u);
+  EXPECT_EQ(db::pim_backends().size(), 3u);
+  for (const db::BackendKind kind : db::pim_backends()) {
+    const auto ek = db::engine_kind_of(kind);
+    ASSERT_TRUE(ek.has_value());
+    EXPECT_EQ(db::backend_of(*ek), kind);
+  }
+  EXPECT_EQ(db::engine_kind_of(db::BackendKind::kColumnar), std::nullopt);
+  EXPECT_EQ(db::engine_kind_of(db::BackendKind::kReference), std::nullopt);
+}
+
+TEST(BackendRegistry, EngineKindHelpers) {
+  for (const engine::EngineKind kind : engine::kAllEngineKinds) {
+    EXPECT_EQ(engine::parse_engine_kind(engine::engine_kind_name(kind)), kind);
+  }
+  EXPECT_EQ(engine::parse_engine_kind("??"), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Model cache
+// ---------------------------------------------------------------------------
+
+TEST(ModelCacheTest, SharedAcrossSessionsFitsOnce) {
+  auto cache = std::make_shared<db::ModelCache>();
+  db::SessionOptions opts = fast_options();
+  opts.models = cache;
+
+  db::Database database;
+  database.register_table(testutil::make_synthetic_table(400, 31),
+                          synthetic_policy());
+  db::Session first(database, opts);
+  EXPECT_FALSE(cache->contains(engine::EngineKind::kOneXb));
+  const engine::LatencyModels& m = first.models(engine::EngineKind::kOneXb);
+  EXPECT_TRUE(m.fitted());
+  EXPECT_TRUE(cache->contains(engine::EngineKind::kOneXb));
+
+  // A second session sharing the cache gets the same fitted instance.
+  db::Session second(database, opts);
+  EXPECT_EQ(&second.models(engine::EngineKind::kOneXb), &m);
+}
+
+TEST(ModelCacheTest, DiskRoundTrip) {
+  db::SessionOptions opts = fast_options();
+  opts.model_cache_dir = ::testing::TempDir();
+  opts.model_cache_tag = "_dbsession_test";
+
+  db::Database database;
+  database.register_table(testutil::make_synthetic_table(400, 32),
+                          synthetic_policy());
+  {
+    db::Session writer(database, opts);
+    EXPECT_TRUE(writer.models(engine::EngineKind::kOneXb).fitted());
+  }
+  // A fresh private cache in the same dir loads from disk (no refit):
+  // loaded coefficients must evaluate identically to the fitted ones.
+  db::Session a(database, opts);
+  db::Session b(database, opts);
+  const auto& ma = a.models(engine::EngineKind::kOneXb);
+  const auto& mb = b.models(engine::EngineKind::kOneXb);
+  EXPECT_DOUBLE_EQ(ma.host_gb_ns(8.0, 2, 0.3), mb.host_gb_ns(8.0, 2, 0.3));
+  EXPECT_DOUBLE_EQ(ma.pim_gb_ns(8.0, 2), mb.pim_gb_ns(8.0, 2));
+  std::remove((opts.model_cache_dir + "/bbpim_models_one_xb" +
+               opts.model_cache_tag + ".txt")
+                  .c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Cross-backend agreement on a seeded query set
+// ---------------------------------------------------------------------------
+
+const char* kSeededQueries[] = {
+    "SELECT SUM(f_val) AS s FROM synthetic WHERE f_key < 1024",
+    "SELECT COUNT(*) AS c FROM synthetic WHERE f_key BETWEEN 100 AND 3000",
+    "SELECT f_gid, SUM(f_val * f_val2) AS rev FROM synthetic "
+    "WHERE f_key < 2048 GROUP BY f_gid ORDER BY rev DESC",
+    "SELECT d_tag, MIN(f_val) AS lo FROM synthetic "
+    "WHERE f_gid IN (0, 2, 3) GROUP BY d_tag ORDER BY d_tag",
+    "SELECT f_gid, d_tag, MAX(f_val) AS hi FROM synthetic "
+    "WHERE f_key >= 512 GROUP BY f_gid, d_tag ORDER BY f_gid, d_tag",
+};
+
+TEST(BackendAgreement, AllBackendsMatchReferenceOnSeededQueries) {
+  FacadeFixture fx(900, 123);
+  for (const char* sql_text : kSeededQueries) {
+    const db::PreparedStatement stmt = fx.session.prepare(sql_text);
+    const db::ResultSet ref = stmt.execute(db::BackendKind::kReference);
+    for (const db::BackendKind backend : db::all_backends()) {
+      if (backend == db::BackendKind::kReference) continue;
+      const db::ResultSet out = stmt.execute(backend);
+      ASSERT_EQ(out.row_count(), ref.row_count())
+          << db::backend_name(backend) << ": " << sql_text;
+      for (std::size_t i = 0; i < out.row_count(); ++i) {
+        EXPECT_EQ(out.rows()[i].group, ref.rows()[i].group)
+            << db::backend_name(backend) << " row " << i << ": " << sql_text;
+        EXPECT_EQ(out.rows()[i].agg, ref.rows()[i].agg)
+            << db::backend_name(backend) << " row " << i << ": " << sql_text;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bbpim

@@ -115,8 +115,7 @@ TEST_P(AllQueriesAllEngines, MatchesReference) {
 std::vector<QueryEngineCase> all_cases() {
   std::vector<QueryEngineCase> cases;
   for (const auto& q : ssb::queries()) {
-    for (const EngineKind k :
-         {EngineKind::kOneXb, EngineKind::kTwoXb, EngineKind::kPimdb}) {
+    for (const EngineKind k : engine::kAllEngineKinds) {
       cases.push_back({q.id.data(), k});
     }
   }

@@ -122,8 +122,7 @@ TEST_P(FuzzCase, AllEnginesMatchReference) {
   Rng rng(seed);
   const std::size_t rows = 300 + rng.next_below(700);
 
-  for (const EngineKind kind :
-       {EngineKind::kOneXb, EngineKind::kTwoXb, EngineKind::kPimdb}) {
+  for (const EngineKind kind : engine::kAllEngineKinds) {
     testutil::EngineFixture fx(kind, rows, seed);
     for (int qi = 0; qi < 6; ++qi) {
       const sql::BoundQuery q = random_query(rng);
