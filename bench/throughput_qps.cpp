@@ -1,0 +1,134 @@
+// Concurrent query-serving throughput: queries/sec and wall-clock scaling
+// of db::QueryService at 1/2/4/8 workers over a mixed SSB query set.
+//
+// Unlike the paper-figure benches (simulated latency of ONE query at a
+// time), this measures the host-side serving capacity of the facade: many
+// independent queries drained by a worker pool, each worker owning a
+// private Session over the shared catalog and the shared fit-once
+// ModelCache. Setup costs (SSB generation, PIM store loads, the model fit)
+// happen in warm_up, outside the timed region; the timed region is pure
+// query execution, which is embarrassingly parallel across workers.
+//
+// Result correctness is cross-checked: every worker-count run must produce
+// the same result checksum as the single-threaded reference pass.
+//
+// Env: BBPIM_SF (scale factor, default 0.1), BBPIM_QPS_ROUNDS (repetitions
+// of the 13-query set per run, default 4), BBPIM_QPS_MAX_WORKERS (default 8).
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table_printer.hpp"
+#include "harness.hpp"
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/// Order-independent digest of a batch's rows (the pool does not guarantee
+/// completion order across runs, only per-future identity).
+std::uint64_t checksum(const std::vector<bbpim::db::ResultSet>& results) {
+  std::uint64_t sum = 0;
+  for (const bbpim::db::ResultSet& rs : results) {
+    for (const auto& row : rs.rows()) {
+      std::uint64_t h = 1469598103934665603ULL;
+      for (const std::uint64_t g : row.group) {
+        h = (h ^ g) * 1099511628211ULL;
+      }
+      h = (h ^ static_cast<std::uint64_t>(row.agg)) * 1099511628211ULL;
+      sum += h;
+    }
+    sum += rs.row_count() * 31;
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bbpim;
+  using Clock = std::chrono::steady_clock;
+
+  const bench::BenchConfig cfg = bench::BenchConfig::from_env();
+  const std::size_t rounds = env_u64("BBPIM_QPS_ROUNDS", 4);
+  const std::size_t max_workers = env_u64("BBPIM_QPS_MAX_WORKERS", 8);
+
+  std::cerr << "[bench] generating SSB (sf=" << cfg.scale_factor << ")...\n";
+  ssb::SsbConfig gen;
+  gen.scale_factor = cfg.scale_factor;
+  gen.zipf_theta = cfg.zipf_theta;
+  gen.seed = cfg.seed;
+  const ssb::SsbData data = ssb::generate(gen);
+
+  db::Database database;
+  database.register_table(ssb::prejoin_ssb(data));
+
+  // One fit-once cache for every pool size: the fitting campaign runs once
+  // for the whole bench (disk-cached across bench invocations, too).
+  db::SessionOptions session_opts = bench::bench_session_options(cfg);
+  session_opts.verbose = false;
+  auto models = std::make_shared<db::ModelCache>(session_opts.model_cache_dir,
+                                                 session_opts.model_cache_tag);
+  session_opts.models = models;
+
+  // The mixed workload: the 13 SSB queries, interleaved, `rounds` times.
+  std::vector<std::string> workload;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const auto& q : ssb::queries()) workload.emplace_back(q.sql);
+  }
+
+  std::cout << "=== Throughput: QueryService over the mixed SSB set ===\n"
+            << "queries/run: " << workload.size() << " (13 queries x "
+            << rounds << " rounds), sf=" << cfg.scale_factor
+            << ", hardware threads: " << std::thread::hardware_concurrency()
+            << "\n\n";
+
+  TablePrinter t({"workers", "wall [ms]", "qps", "speedup", "efficiency"});
+  double base_qps = 0;
+  std::uint64_t reference_checksum = 0;
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    db::QueryServiceOptions opts;
+    opts.workers = workers;
+    opts.session = session_opts;
+    db::QueryService service(database, opts);
+    service.warm_up(db::BackendKind::kOneXb);
+
+    const auto start = Clock::now();
+    const std::vector<db::ResultSet> results =
+        service.execute_batch(workload);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    service.shutdown();
+
+    const std::uint64_t digest = checksum(results);
+    if (workers == 1) {
+      reference_checksum = digest;
+    } else if (digest != reference_checksum) {
+      std::cerr << "FAIL: checksum mismatch at " << workers
+                << " workers — concurrent results differ from the "
+                   "single-threaded reference\n";
+      return 1;
+    }
+
+    const double qps = workload.size() / (wall_ms / 1000.0);
+    if (workers == 1) base_qps = qps;
+    const double speedup = qps / base_qps;
+    t.add_row({std::to_string(workers), TablePrinter::fmt(wall_ms, 1),
+               TablePrinter::fmt(qps, 2), TablePrinter::fmt(speedup, 2) + "x",
+               TablePrinter::fmt(100.0 * speedup / workers, 0) + "%"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nAll worker counts produced identical result checksums.\n"
+            << "(Scaling requires >= " << max_workers
+            << " hardware threads; single-core machines serialize the "
+               "workers.)\n";
+  return 0;
+}

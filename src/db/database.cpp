@@ -1,5 +1,6 @@
 #include "db/database.hpp"
 
+#include <mutex>
 #include <stdexcept>
 #include <utility>
 
@@ -7,11 +8,33 @@
 
 namespace bbpim::db {
 
+Database::Database(Database&& other) noexcept {
+  std::unique_lock lock(other.mutex_);
+  tables_ = std::move(other.tables_);
+  order_ = std::move(other.order_);
+  default_target_ = std::move(other.default_target_);
+  version_.store(other.version_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mutex_, other.mutex_);
+    tables_ = std::move(other.tables_);
+    order_ = std::move(other.order_);
+    default_target_ = std::move(other.default_target_);
+    version_.store(other.version_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+  }
+  return *this;
+}
+
 const rel::Table& Database::add(Entry entry) {
   const std::string& name = entry.table->name();
   if (name.empty()) {
     throw std::invalid_argument("Database::register_table: table has no name");
   }
+  std::unique_lock lock(mutex_);
   if (tables_.count(name) != 0) {
     throw std::invalid_argument("Database::register_table: duplicate table '" +
                                 name + "'");
@@ -20,7 +43,7 @@ const rel::Table& Database::add(Entry entry) {
   tables_.emplace(name, std::move(entry));
   order_.push_back(name);
   if (default_target_.empty()) default_target_ = name;
-  ++version_;
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return ref;
 }
 
@@ -41,7 +64,7 @@ const rel::Table& Database::attach_table(const rel::Table& table,
   return add(std::move(e));
 }
 
-const Database::Entry& Database::entry(std::string_view name) const {
+const Database::Entry& Database::entry_locked(std::string_view name) const {
   const auto it = tables_.find(name);
   if (it == tables_.end()) {
     throw std::invalid_argument("Database: unknown table '" +
@@ -51,44 +74,58 @@ const Database::Entry& Database::entry(std::string_view name) const {
 }
 
 bool Database::has_table(std::string_view name) const {
+  std::shared_lock lock(mutex_);
   return tables_.find(name) != tables_.end();
 }
 
 const rel::Table& Database::table(std::string_view name) const {
-  return *entry(name).table;
+  std::shared_lock lock(mutex_);
+  return *entry_locked(name).table;
 }
 
 const LoadPolicy& Database::policy(std::string_view name) const {
-  return entry(name).policy;
+  std::shared_lock lock(mutex_);
+  return entry_locked(name).policy;
 }
 
 const LoadPolicy& Database::policy_of(const rel::Table& table) const {
+  std::shared_lock lock(mutex_);
   for (const auto& [name, e] : tables_) {
     if (e.table == &table) return e.policy;
   }
   throw std::invalid_argument("Database::policy_of: table not registered");
 }
 
-std::vector<std::string> Database::table_names() const { return order_; }
+std::vector<std::string> Database::table_names() const {
+  std::shared_lock lock(mutex_);
+  return order_;
+}
 
 void Database::set_default_target(std::string_view name) {
-  default_target_ = entry(name).table->name();
-  ++version_;
+  std::unique_lock lock(mutex_);
+  default_target_ = entry_locked(name).table->name();
+  version_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 const rel::Table& Database::default_target() const {
+  std::shared_lock lock(mutex_);
   if (default_target_.empty()) {
     throw std::invalid_argument("Database: no tables registered");
   }
-  return table(default_target_);
+  return *entry_locked(default_target_).table;
 }
 
 const rel::Table& Database::resolve_target(
     const std::vector<std::string>& from) const {
+  std::shared_lock lock(mutex_);
   for (const std::string& name : from) {
-    if (has_table(name)) return table(name);
+    const auto it = tables_.find(name);
+    if (it != tables_.end()) return *it->second.table;
   }
-  return default_target();
+  if (default_target_.empty()) {
+    throw std::invalid_argument("Database: no tables registered");
+  }
+  return *entry_locked(default_target_).table;
 }
 
 Session Database::connect() { return Session(*this); }

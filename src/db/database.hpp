@@ -8,11 +8,13 @@
 // default target (the pre-joined relation in the paper's setup).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -33,14 +35,19 @@ struct LoadPolicy {
   std::function<int(const std::string&)> part_of;
 };
 
+/// Thread-safe: catalog lookups take a shared lock, mutations an exclusive
+/// one, so any number of sessions (or QueryService workers) can resolve
+/// targets while tables are being registered. Registered tables themselves
+/// are immutable through the catalog.
 class Database {
  public:
   Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  /// Movable while no session is connected (sessions hold a pointer).
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  /// Movable while no session is connected (sessions hold a pointer) and no
+  /// other thread is touching either operand.
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
 
   /// Registers (and takes ownership of) a relation under `table.name()`.
   /// The first registered table becomes the default query target.
@@ -70,7 +77,9 @@ class Database {
 
   /// Bumped on every catalog mutation (registration, default-target change);
   /// sessions use it to invalidate plans whose FROM resolution could change.
-  std::uint64_t catalog_version() const { return version_; }
+  std::uint64_t catalog_version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   /// Opens a session over this catalog (must not outlive the database).
   Session connect();
@@ -84,12 +93,14 @@ class Database {
   };
 
   const rel::Table& add(Entry entry);
-  const Entry& entry(std::string_view name) const;
+  /// Caller must hold mutex_ (shared or exclusive).
+  const Entry& entry_locked(std::string_view name) const;
 
+  mutable std::shared_mutex mutex_;
   std::map<std::string, Entry, std::less<>> tables_;
   std::vector<std::string> order_;
   std::string default_target_;
-  std::uint64_t version_ = 0;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace bbpim::db

@@ -1,11 +1,13 @@
 // Umbrella header for the bbpim::db facade: Database (catalog + PIM load
 // policy), Session (configs, fitted models, executor registry),
-// PreparedStatement (parse/bind once, re-execute cheaply), and the typed
-// dictionary-decoding ResultSet.
+// PreparedStatement (parse/bind once, re-execute cheaply), the typed
+// dictionary-decoding ResultSet, and the QueryService worker pool for
+// concurrent serving.
 #pragma once
 
 #include "db/backend.hpp"      // IWYU pragma: export
 #include "db/database.hpp"     // IWYU pragma: export
 #include "db/result_set.hpp"   // IWYU pragma: export
+#include "db/service.hpp"      // IWYU pragma: export
 #include "db/session.hpp"      // IWYU pragma: export
 #include "db/statement.hpp"    // IWYU pragma: export

@@ -1,0 +1,242 @@
+#include "db/service.hpp"
+
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+namespace bbpim::db {
+namespace {
+
+/// Rendezvous for warm_up: each worker executes exactly one warm task
+/// because no worker can finish its task before every worker has one.
+/// Cancellable: when warm_up fails to enqueue the full set (shutdown raced
+/// it), the workers already parked here must be released or the drain in
+/// shutdown() would join forever.
+struct WarmBarrier {
+  explicit WarmBarrier(std::size_t n) : remaining(n) {}
+
+  void arrive_and_wait() {
+    std::unique_lock lock(mutex);
+    if (--remaining == 0 || cancelled) {
+      cv.notify_all();
+    } else {
+      cv.wait(lock, [&] { return remaining == 0 || cancelled; });
+    }
+  }
+
+  void cancel() {
+    std::lock_guard lock(mutex);
+    cancelled = true;
+    cv.notify_all();
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining;
+  bool cancelled = false;
+};
+
+}  // namespace
+
+QueryService::QueryService(Database& db, QueryServiceOptions opts)
+    : db_(&db), opts_(std::move(opts)) {
+  std::size_t workers = opts_.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+
+  // One ModelCache across the pool: either the caller's, or one built from
+  // the template's disk-cache settings. Without this, every worker would run
+  // its own fitting campaign — the exact duplication fit-once exists to stop.
+  model_cache_ = opts_.session.models;
+  if (model_cache_ == nullptr) {
+    model_cache_ = std::make_shared<ModelCache>(opts_.session.model_cache_dir,
+                                                opts_.session.model_cache_tag);
+  }
+
+  sessions_.reserve(workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    SessionOptions worker_opts = opts_.session;
+    worker_opts.models = model_cache_;
+    sessions_.push_back(std::make_unique<Session>(*db_, std::move(worker_opts)));
+  }
+  try {
+    for (std::size_t i = 0; i < workers; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  } catch (...) {
+    // Thread creation failed partway (e.g. EAGAIN): shut the partial pool
+    // down before rethrowing, or destroying the joinable threads would
+    // std::terminate.
+    {
+      std::lock_guard lock(mutex_);
+      accepting_ = false;
+    }
+    work_available_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    throw;
+  }
+}
+
+QueryService::~QueryService() { shutdown(); }
+
+std::future<ResultSet> QueryService::enqueue(
+    std::function<ResultSet(Session&)> run) {
+  Task task;
+  task.run = std::move(run);
+  std::future<ResultSet> result = task.result.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("QueryService: submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return result;
+}
+
+std::future<ResultSet> QueryService::submit(std::string sql_text,
+                                            const engine::ExecOptions& opts) {
+  return enqueue([sql = std::move(sql_text), opts](Session& session) {
+    return session.execute(sql, opts);
+  });
+}
+
+std::future<ResultSet> QueryService::submit(std::string sql_text,
+                                            BackendKind backend,
+                                            const engine::ExecOptions& opts) {
+  return enqueue([sql = std::move(sql_text), backend, opts](Session& session) {
+    return session.execute(sql, backend, opts);
+  });
+}
+
+std::vector<ResultSet> QueryService::drain(
+    std::vector<std::future<ResultSet>> futures) {
+  std::vector<ResultSet> out;
+  out.reserve(futures.size());
+  std::exception_ptr first_error;
+  for (std::future<ResultSet>& f : futures) {
+    try {
+      out.push_back(f.get());
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+      out.emplace_back();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return out;
+}
+
+std::vector<ResultSet> QueryService::execute_batch(
+    std::span<const std::string> sqls) {
+  std::vector<std::future<ResultSet>> futures;
+  futures.reserve(sqls.size());
+  for (const std::string& sql : sqls) futures.push_back(submit(sql));
+  return drain(std::move(futures));
+}
+
+std::vector<ResultSet> QueryService::execute_batch(
+    std::span<const std::string> sqls, BackendKind backend) {
+  std::vector<std::future<ResultSet>> futures;
+  futures.reserve(sqls.size());
+  for (const std::string& sql : sqls) futures.push_back(submit(sql, backend));
+  return drain(std::move(futures));
+}
+
+void QueryService::warm_up(BackendKind backend) {
+  // One warm-up at a time: two interleaved barriers on one FIFO queue could
+  // each capture half the workers and park them forever.
+  std::lock_guard warm_lock(warm_mutex_);
+  const auto barrier = std::make_shared<WarmBarrier>(sessions_.size());
+  std::vector<std::future<ResultSet>> futures;
+  futures.reserve(sessions_.size());
+  try {
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      futures.push_back(enqueue([backend, barrier](Session& session) {
+        // Always arrive, even on failure: a worker that threw before the
+        // barrier would otherwise park its siblings forever.
+        std::exception_ptr error;
+        try {
+          session.executor(backend);  // first touch: PIM store load
+          if (const auto kind = engine_kind_of(backend)) {
+            session.models(*kind);  // fit-once across the pool
+          }
+        } catch (...) {
+          error = std::current_exception();
+        }
+        barrier->arrive_and_wait();
+        if (error != nullptr) std::rethrow_exception(error);
+        return ResultSet();
+      }));
+    }
+  } catch (...) {
+    // shutdown() raced us mid-enqueue: a partial barrier can never fill, so
+    // release the workers already parked in it, let the queued remainder
+    // finish, then surface the shutdown error.
+    barrier->cancel();
+    for (std::future<ResultSet>& f : futures) {
+      try {
+        f.get();
+      } catch (...) {
+        // already reporting the enqueue failure
+      }
+    }
+    throw;
+  }
+  for (std::future<ResultSet>& f : futures) f.get();
+}
+
+void QueryService::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    accepting_ = false;
+  }
+  work_available_.notify_all();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mutex_);
+    workers.swap(workers_);  // first caller joins; later calls are no-ops
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+std::size_t QueryService::executed_count() const {
+  std::lock_guard lock(mutex_);
+  return executed_;
+}
+
+void QueryService::worker_loop(std::size_t index) {
+  Session& session = *sessions_[index];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(lock,
+                           [&] { return !queue_.empty() || !accepting_; });
+      if (queue_.empty()) return;  // shutdown requested and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Count before fulfilling the promise: a caller that drained its future
+    // must never read an executed_count below what it submitted.
+    try {
+      ResultSet rs = task.run(session);
+      {
+        std::lock_guard lock(mutex_);
+        ++executed_;
+      }
+      task.result.set_value(std::move(rs));
+    } catch (...) {
+      {
+        std::lock_guard lock(mutex_);
+        ++executed_;
+      }
+      task.result.set_exception(std::current_exception());
+    }
+  }
+}
+
+}  // namespace bbpim::db

@@ -1,9 +1,11 @@
 #include "db/session.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "baseline/monet.hpp"
 #include "baseline/reference.hpp"
@@ -90,6 +92,18 @@ class PimExecutor final : public Executor {
   engine::PimQueryEngine engine_;
 };
 
+/// The PIM-only execution knobs are meaningless for the host baselines;
+/// silently ignoring them would let an ablation pointed at the wrong
+/// backend report plausible-looking but meaningless numbers.
+void reject_pim_exec_options(BackendKind backend,
+                             const engine::ExecOptions& opts) {
+  if (opts.force_k.has_value() || opts.skip_host_gb) {
+    throw std::invalid_argument(
+        std::string("execute: backend '") + backend_name(backend) +
+        "' does not honor ExecOptions (force_k / skip_host_gb are PIM-only)");
+  }
+}
+
 /// MonetDB-like columnar cost model over the target relation (mnt-join).
 class ColumnarExecutor final : public Executor {
  public:
@@ -100,7 +114,8 @@ class ColumnarExecutor final : public Executor {
   const rel::Table& target() const override { return *table_; }
 
   engine::QueryOutput execute(const sql::BoundQuery& q,
-                              const engine::ExecOptions&) override {
+                              const engine::ExecOptions& opts) override {
+    reject_pim_exec_options(backend(), opts);
     baseline::BaselineRun run = monet_.execute_prejoined(q);
     engine::QueryOutput out;
     out.rows = std::move(run.rows);
@@ -128,7 +143,8 @@ class ReferenceExecutor final : public Executor {
   const rel::Table& target() const override { return *table_; }
 
   engine::QueryOutput execute(const sql::BoundQuery& q,
-                              const engine::ExecOptions&) override {
+                              const engine::ExecOptions& opts) override {
+    reject_pim_exec_options(backend(), opts);
     baseline::ReferenceRun run = baseline::scan_execute(*table_, q);
     engine::QueryOutput out;
     out.rows = std::move(run.rows);
@@ -160,34 +176,77 @@ engine::FitConfig quick_fit_config() {
 ModelCache::ModelCache(std::string dir, std::string tag)
     : dir_(std::move(dir)), tag_(std::move(tag)) {}
 
-std::string ModelCache::cache_path(engine::EngineKind kind) const {
+std::string ModelCache::cache_path(engine::EngineKind kind,
+                                   std::uint64_t fingerprint) const {
   std::ostringstream ss;
   ss << dir_ << "/bbpim_models_" << engine::engine_kind_name(kind) << tag_
-     << ".txt";
+     << '_' << fingerprint << ".txt";
   return ss.str();
 }
 
 bool ModelCache::contains(engine::EngineKind kind) const {
-  return fitted_.find(kind) != fitted_.end();
+  std::lock_guard lock(mutex_);
+  for (auto it = slots_.lower_bound({kind, 0});
+       it != slots_.end() && it->first.first == kind; ++it) {
+    if (it->second.ready) return true;
+  }
+  return false;
 }
 
 void ModelCache::put(engine::EngineKind kind, engine::LatencyModels models) {
-  fitted_[kind] = std::move(models);
+  std::lock_guard lock(mutex_);
+  Slot& slot = slots_[{kind, 0}];
+  if (slot.ready) {
+    // Resident models are immutable — other threads may hold references
+    // into them — so injection only works before first use.
+    throw std::logic_error(std::string("ModelCache::put: models for '") +
+                           engine::engine_kind_name(kind) +
+                           "' already resident");
+  }
+  slot.models = std::move(models);
+  slot.ready = true;
 }
 
-const engine::LatencyModels& ModelCache::get_or_fit(
-    engine::EngineKind kind, const pim::PimConfig& pim,
-    const host::HostConfig& host, const engine::FitConfig& fit, bool verbose) {
-  const auto it = fitted_.find(kind);
-  if (it != fitted_.end()) return it->second;
+std::size_t ModelCache::fit_count() const {
+  std::lock_guard lock(mutex_);
+  return fits_;
+}
 
+engine::LatencyModels ModelCache::load_or_fit(
+    engine::EngineKind kind, std::uint64_t fingerprint,
+    const pim::PimConfig& pim, const host::HostConfig& host,
+    const engine::FitConfig& fit, bool verbose, bool& did_fit) const {
+  did_fit = false;
+  const std::string path = cache_path(kind, fingerprint);
   if (!dir_.empty()) {
-    if (std::ifstream in(cache_path(kind)); in.good()) {
-      if (verbose) {
-        std::cerr << "[db] loading cached models from " << cache_path(kind)
-                  << "\n";
+    if (std::ifstream in(path); in.good()) {
+      // A cache file is only trusted when it parses cleanly, carries the
+      // fingerprint of OUR configuration, and holds a usable (non-empty)
+      // model. Anything else — truncation, corruption, a hand-copied file
+      // fitted under different configs, the pre-fingerprint format — is a
+      // miss.
+      try {
+        std::uint64_t file_fingerprint = 0;
+        engine::LatencyModels loaded =
+            engine::LatencyModels::load(in, &file_fingerprint);
+        if (loaded.fitted() && file_fingerprint == fingerprint) {
+          if (verbose) {
+            std::cerr << "[db] loading cached models from " << path << "\n";
+          }
+          return loaded;
+        }
+        if (verbose) {
+          std::cerr << "[db] stale model cache " << path
+                    << (loaded.fitted() ? " (config fingerprint mismatch)"
+                                        : " (empty model)")
+                    << " — refitting\n";
+        }
+      } catch (const std::exception& e) {
+        if (verbose) {
+          std::cerr << "[db] unreadable model cache " << path << " ("
+                    << e.what() << ") — refitting\n";
+        }
       }
-      return fitted_[kind] = engine::LatencyModels::load(in);
     }
   }
   if (verbose) {
@@ -196,10 +255,65 @@ const engine::LatencyModels& ModelCache::get_or_fit(
   }
   engine::LatencyModels models =
       engine::fit_latency_models(kind, pim, host, fit).models;
+  did_fit = true;
   if (!dir_.empty()) {
-    if (std::ofstream out(cache_path(kind)); out.good()) models.save(out);
+    // Write a temp file and rename it into place (atomic on POSIX) so a
+    // concurrent reader never sees a partial write. Writers that race on
+    // the same temp name are by construction fitting the same configuration
+    // — the campaign is deterministic, so they write identical bytes.
+    const std::string tmp = path + ".tmp";
+    bool written = false;
+    {
+      std::ofstream out(tmp);
+      if (out.good()) {
+        models.save(out, fingerprint);
+        written = out.good();
+      }
+    }
+    if (!written || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+    }
   }
-  return fitted_[kind] = std::move(models);
+  return models;
+}
+
+const engine::LatencyModels& ModelCache::get_or_fit(
+    engine::EngineKind kind, const pim::PimConfig& pim,
+    const host::HostConfig& host, const engine::FitConfig& fit, bool verbose) {
+  const std::uint64_t fingerprint = engine::config_fingerprint(pim, host, fit);
+  std::unique_lock lock(mutex_);
+  // Explicitly injected models (put) pre-empt fitting for their kind.
+  if (const auto it = slots_.find({kind, 0});
+      it != slots_.end() && it->second.ready) {
+    return it->second.models;
+  }
+  // Node-based map: the slot reference stays stable across the unlock.
+  Slot& slot = slots_[{kind, fingerprint}];
+  cv_.wait(lock, [&] { return !slot.busy; });
+  if (slot.ready) return slot.models;
+
+  // First caller for this configuration: fit (or load) outside the lock so
+  // waiters block on the condition variable instead of serializing behind a
+  // held mutex, and so contains()/put() on other slots stay responsive.
+  slot.busy = true;
+  lock.unlock();
+  engine::LatencyModels models;
+  bool did_fit = false;
+  try {
+    models = load_or_fit(kind, fingerprint, pim, host, fit, verbose, did_fit);
+  } catch (...) {
+    lock.lock();
+    slot.busy = false;
+    cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  if (did_fit) ++fits_;
+  slot.models = std::move(models);
+  slot.ready = true;
+  slot.busy = false;
+  cv_.notify_all();
+  return slot.models;
 }
 
 // --- PreparedStatement -----------------------------------------------------
@@ -242,11 +356,15 @@ Session::Session(Database& db, SessionOptions opts)
 Session::~Session() = default;
 
 PreparedStatement Session::prepare(std::string_view sql_text) {
+  std::lock_guard lock(plans_mutex_);
   // Catalog mutations can change FROM resolution; drop plans bound against
-  // the old catalog rather than serving a stale target.
-  if (catalog_version_ != db_->catalog_version()) {
+  // the old catalog rather than serving a stale target. The version is read
+  // once so a registration racing this prepare invalidates on the next call
+  // instead of leaving the cache permanently stale.
+  const std::uint64_t version = db_->catalog_version();
+  if (catalog_version_ != version) {
     plans_.clear();
-    catalog_version_ = db_->catalog_version();
+    catalog_version_ = version;
   }
   auto it = plans_.find(sql_text);
   if (it == plans_.end()) {
@@ -294,6 +412,7 @@ Executor& Session::executor(BackendKind backend, std::string_view table) {
 
 Executor& Session::executor_for(BackendKind backend, const rel::Table& table) {
   const auto key = std::make_pair(backend, &table);
+  std::lock_guard lock(executors_mutex_);
   auto it = executors_.find(key);
   if (it != executors_.end()) return *it->second;
 

@@ -16,8 +16,11 @@
 //       "SELECT region, SUM(qty) FROM sales GROUP BY region");
 #pragma once
 
+#include <condition_variable>
+#include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -43,6 +46,13 @@ engine::FitConfig quick_fit_config();
 /// engine kind. Shareable across sessions whose pim/host/fit configurations
 /// match (the models depend on those, not on the data); optionally backed
 /// by a directory of plain-text cache files.
+///
+/// Thread-safe: N threads calling get_or_fit for the same engine kind run
+/// exactly one fitting campaign — the first caller fits outside the lock
+/// while the rest block until the slot is ready. Cache files carry a
+/// fingerprint of the (pim, host, fit) configuration that produced them; a
+/// mismatching, truncated, or otherwise unreadable file is a cache miss
+/// (refit and overwrite), never an error.
 class ModelCache {
  public:
   ModelCache() = default;
@@ -51,21 +61,58 @@ class ModelCache {
   explicit ModelCache(std::string dir, std::string tag = {});
 
   bool contains(engine::EngineKind kind) const;
+  /// Injects externally fitted models for `kind`, bypassing the campaign;
+  /// they win over (and pre-empt) any get_or_fit for that kind. Injection
+  /// is a setup-time operation: a second put for the same kind throws
+  /// std::logic_error, because resident models are immutable — threads may
+  /// hold references into them.
   void put(engine::EngineKind kind, engine::LatencyModels models);
 
   /// Memory hit, else disk hit, else runs the fitting campaign (and saves).
+  /// In-memory entries are keyed by (kind, config fingerprint) just like
+  /// the disk files, so callers with different configurations sharing one
+  /// cache never see each other's models.
   const engine::LatencyModels& get_or_fit(engine::EngineKind kind,
                                           const pim::PimConfig& pim,
                                           const host::HostConfig& host,
                                           const engine::FitConfig& fit,
                                           bool verbose = false);
 
+  /// Fitting campaigns this cache actually ran (memory and valid disk hits
+  /// don't count) — the observable half of the fit-once guarantee.
+  std::size_t fit_count() const;
+
  private:
-  std::string cache_path(engine::EngineKind kind) const;
+  /// One (kind, fingerprint) cache line; fingerprint 0 holds put()-injected
+  /// models. `busy` marks a thread loading/fitting it; `models` is immutable
+  /// once `ready` flips (map nodes are stable, so the reference returned by
+  /// get_or_fit stays valid for the cache's lifetime).
+  struct Slot {
+    bool ready = false;
+    bool busy = false;
+    engine::LatencyModels models;
+  };
+  using SlotKey = std::pair<engine::EngineKind, std::uint64_t>;
+
+  /// One file per (kind, tag, fingerprint): configurations sharing a cache
+  /// dir coexist on disk instead of overwriting each other's campaigns.
+  std::string cache_path(engine::EngineKind kind,
+                         std::uint64_t fingerprint) const;
+  /// Validated disk load, else fitting campaign. Runs unlocked; sets
+  /// `did_fit` when a campaign ran.
+  engine::LatencyModels load_or_fit(engine::EngineKind kind,
+                                    std::uint64_t fingerprint,
+                                    const pim::PimConfig& pim,
+                                    const host::HostConfig& host,
+                                    const engine::FitConfig& fit, bool verbose,
+                                    bool& did_fit) const;
 
   std::string dir_;
   std::string tag_;
-  std::map<engine::EngineKind, engine::LatencyModels> fitted_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<SlotKey, Slot> slots_;
+  std::size_t fits_ = 0;
 };
 
 struct SessionOptions {
@@ -95,6 +142,13 @@ class Executor {
   virtual std::string explain(const sql::BoundQuery& q);
 };
 
+/// Threading model: a session's plan cache, executor registry, and model
+/// lookups are mutex-guarded, so concurrent prepare()/models() calls — and
+/// sessions sharing one Database and ModelCache across threads — are safe.
+/// Executing queries concurrently *through one session* is not: executors
+/// are stateful (the PIM simulator mutates crossbar state), so concurrent
+/// execute() on a single session requires external synchronization. Use one
+/// session per thread (or QueryService, which does exactly that) instead.
 class Session {
  public:
   explicit Session(Database& db, SessionOptions opts = {});
@@ -144,6 +198,11 @@ class Session {
   Database* db_;
   SessionOptions opts_;
   std::shared_ptr<ModelCache> model_cache_;
+  /// Guards plans_ and catalog_version_.
+  std::mutex plans_mutex_;
+  /// Guards executors_; held across executor construction so a backend's
+  /// first touch (PIM store load) happens exactly once per (backend, table).
+  std::mutex executors_mutex_;
   std::uint64_t catalog_version_ = 0;
   std::map<std::string, std::shared_ptr<const Plan>, std::less<>> plans_;
   std::map<std::pair<BackendKind, const rel::Table*>,

@@ -52,8 +52,9 @@ TimeNs LatencyModels::pim_gb_ns(double pages, std::uint32_t n) const {
   return fit.eval(pages);
 }
 
-void LatencyModels::save(std::ostream& os) const {
+void LatencyModels::save(std::ostream& os, std::uint64_t fingerprint) const {
   os.precision(17);
+  if (fingerprint != 0) os << "fingerprint " << fingerprint << '\n';
   for (const auto& [s, f] : host_slope) {
     os << "host " << s << ' ' << f.a << ' ' << f.b << ' ' << f.r2 << '\n';
   }
@@ -63,12 +64,20 @@ void LatencyModels::save(std::ostream& os) const {
   }
 }
 
-LatencyModels LatencyModels::load(std::istream& is) {
+LatencyModels LatencyModels::load(std::istream& is,
+                                  std::uint64_t* fingerprint) {
+  if (fingerprint != nullptr) *fingerprint = 0;
   LatencyModels m;
   std::string kind;
   while (is >> kind) {
     std::uint32_t key = 0;
-    if (kind == "host") {
+    if (kind == "fingerprint") {
+      std::uint64_t value = 0;
+      if (!(is >> value)) {
+        throw std::runtime_error("LatencyModels::load: bad fingerprint line");
+      }
+      if (fingerprint != nullptr) *fingerprint = value;
+    } else if (kind == "host") {
       SqrtFit f;
       if (!(is >> key >> f.a >> f.b >> f.r2)) {
         throw std::runtime_error("LatencyModels::load: bad host line");

@@ -55,8 +55,15 @@ struct LatencyModels {
   TimeNs pim_gb_ns(double pages, std::uint32_t n) const;
 
   /// Plain-text (de)serialization so benches can cache a fitting campaign.
-  void save(std::ostream& os) const;
-  static LatencyModels load(std::istream& is);
+  /// A non-zero `fingerprint` (config_fingerprint of the pim/host/fit
+  /// configuration the models were fitted under) is written as a header
+  /// record so readers can reject models fitted under other configurations.
+  void save(std::ostream& os, std::uint64_t fingerprint = 0) const;
+  /// Throws std::runtime_error on malformed input. When `fingerprint` is
+  /// non-null it receives the file's fingerprint header (0 if absent — the
+  /// pre-fingerprint format).
+  static LatencyModels load(std::istream& is,
+                            std::uint64_t* fingerprint = nullptr);
 };
 
 }  // namespace bbpim::engine

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/rng.hpp"
@@ -136,6 +137,43 @@ ModelFitResult fit_latency_models(EngineKind kind, const pim::PimConfig& cfg,
     out.models.pim_gb.emplace(n, fit_linear(ms, ts));
   }
   return out;
+}
+
+std::uint64_t config_fingerprint(const pim::PimConfig& cfg,
+                                 const host::HostConfig& hcfg,
+                                 const FitConfig& fit) {
+  // FNV-1a over a canonical textual dump of every field either latency
+  // model depends on. Text (max precision) sidesteps double-representation
+  // pitfalls while staying stable across platforms and runs.
+  std::ostringstream dump;
+  dump.precision(17);
+  dump << cfg.crossbar_rows << ' ' << cfg.crossbar_cols << ' '
+       << cfg.crossbars_per_page << ' ' << cfg.chips << ' '
+       << cfg.capacity_bytes << ' ' << cfg.read_bits << ' '
+       << cfg.logic_cycle_ns << ' ' << cfg.read_cycle_ns << ' '
+       << cfg.write_cycle_ns << ' ' << cfg.logic_energy_fj_per_bit << ' '
+       << cfg.read_energy_pj_per_bit << ' ' << cfg.write_energy_pj_per_bit
+       << ' ' << cfg.agg_circuit_power_uw << ' ' << cfg.controller_power_uw
+       << " | " << hcfg.threads << ' ' << hcfg.line_stream_ns << ' '
+       << hcfg.line_random_ns << ' ' << hcfg.issue_ns << ' '
+       << hcfg.phase_overhead_ns << ' ' << hcfg.request_window << ' '
+       << hcfg.cpu_ns_per_record << ' ' << hcfg.cpu_ns_per_sample << ' '
+       << hcfg.plan_overhead_ns << " |";
+  for (const std::size_t m : fit.page_counts) dump << ' ' << m;
+  dump << " |";
+  for (const double r : fit.ratios) dump << ' ' << r;
+  dump << " |";
+  for (const std::uint32_t s : fit.s_values) dump << ' ' << s;
+  dump << " |";
+  for (const std::uint32_t n : fit.n_values) dump << ' ' << n;
+  dump << " | " << fit.seed;
+
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : dump.str()) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash != 0 ? hash : 1;  // 0 means "no fingerprint" in cache files
 }
 
 }  // namespace bbpim::engine

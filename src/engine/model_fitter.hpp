@@ -45,4 +45,12 @@ ModelFitResult fit_latency_models(EngineKind kind, const pim::PimConfig& cfg,
                                   const host::HostConfig& hcfg,
                                   const FitConfig& fit = {});
 
+/// Stable hash over every (pim, host, fit) field the fitted models depend
+/// on. Written into model cache files (LatencyModels::save) so a cache
+/// entry fitted under one configuration is never served to another; always
+/// non-zero (0 is reserved for "no fingerprint").
+std::uint64_t config_fingerprint(const pim::PimConfig& cfg,
+                                 const host::HostConfig& hcfg,
+                                 const FitConfig& fit);
+
 }  // namespace bbpim::engine

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -29,6 +30,16 @@ db::SessionOptions fast_options() {
   // plus its sum-result slot — wider than the 128-column test geometry.
   opts.pim.crossbar_cols = 256;
   return opts;
+}
+
+/// The on-disk model cache file for `opts`' configuration (one file per
+/// kind + tag + config fingerprint).
+std::string model_cache_file(const std::string& dir, const std::string& tag,
+                             const db::SessionOptions& opts) {
+  return dir + "/bbpim_models_one_xb" + tag + "_" +
+         std::to_string(
+             engine::config_fingerprint(opts.pim, opts.host, opts.fit)) +
+         ".txt";
 }
 
 /// A database holding one seeded synthetic relation.
@@ -115,6 +126,29 @@ TEST(SessionErrors, ExplainOnHostBackendsThrows) {
                    .explain("SELECT SUM(f_val) FROM synthetic",
                             db::BackendKind::kOneXb)
                    .empty());
+}
+
+TEST(SessionErrors, HostBackendsRejectPimExecOptions) {
+  FacadeFixture fx;
+  const db::PreparedStatement stmt = fx.session.prepare(
+      "SELECT f_gid, SUM(f_val) AS s FROM synthetic "
+      "WHERE f_key < 2000 GROUP BY f_gid");
+  engine::ExecOptions forced;
+  forced.force_k = 1;
+  engine::ExecOptions skip;
+  skip.skip_host_gb = true;
+  for (const db::BackendKind backend :
+       {db::BackendKind::kColumnar, db::BackendKind::kReference}) {
+    EXPECT_THROW(stmt.execute(backend, forced), std::invalid_argument)
+        << db::backend_name(backend);
+    EXPECT_THROW(stmt.execute(backend, skip), std::invalid_argument)
+        << db::backend_name(backend);
+    // Default options still run fine on the host baselines.
+    EXPECT_GT(stmt.execute(backend).row_count(), 0u)
+        << db::backend_name(backend);
+  }
+  // The PIM backends honor the same options instead of rejecting them.
+  EXPECT_GT(stmt.execute(db::BackendKind::kOneXb, forced).row_count(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -283,9 +317,162 @@ TEST(ModelCacheTest, DiskRoundTrip) {
   const auto& mb = b.models(engine::EngineKind::kOneXb);
   EXPECT_DOUBLE_EQ(ma.host_gb_ns(8.0, 2, 0.3), mb.host_gb_ns(8.0, 2, 0.3));
   EXPECT_DOUBLE_EQ(ma.pim_gb_ns(8.0, 2), mb.pim_gb_ns(8.0, 2));
-  std::remove((opts.model_cache_dir + "/bbpim_models_one_xb" +
-               opts.model_cache_tag + ".txt")
-                  .c_str());
+  std::remove(
+      model_cache_file(opts.model_cache_dir, opts.model_cache_tag, opts)
+          .c_str());
+}
+
+TEST(ModelCacheTest, ConfigFingerprintMismatchIsACacheMiss) {
+  const std::string dir = ::testing::TempDir();
+  const std::string tag = "_fingerprint_test";
+  const db::SessionOptions opts = fast_options();
+  const std::string path = model_cache_file(dir, tag, opts);
+  std::remove(path.c_str());
+
+  db::ModelCache writer(dir, tag);
+  EXPECT_TRUE(writer
+                  .get_or_fit(engine::EngineKind::kOneXb, opts.pim, opts.host,
+                              opts.fit)
+                  .fitted());
+  EXPECT_EQ(writer.fit_count(), 1u);
+
+  // Same configuration, fresh cache: valid disk hit, no refit.
+  db::ModelCache same(dir, tag);
+  EXPECT_TRUE(same.get_or_fit(engine::EngineKind::kOneXb, opts.pim, opts.host,
+                              opts.fit)
+                  .fitted());
+  EXPECT_EQ(same.fit_count(), 0u);
+
+  // Same cache dir + tag but a different host configuration: the saved
+  // models must NOT be silently reused (the pre-fix behavior) — the
+  // fingerprint separates the entries and forces a refit.
+  host::HostConfig other_host = opts.host;
+  other_host.line_random_ns *= 4;
+  db::ModelCache different(dir, tag);
+  const engine::LatencyModels& refitted = different.get_or_fit(
+      engine::EngineKind::kOneXb, opts.pim, other_host, opts.fit);
+  EXPECT_TRUE(refitted.fitted());
+  EXPECT_EQ(different.fit_count(), 1u);
+
+  // Even a file whose NAME matches our configuration is rejected when its
+  // fingerprint header disagrees (e.g. a hand-copied or hand-edited file).
+  {
+    db::SessionOptions other = opts;
+    other.host = other_host;
+    std::ifstream src(model_cache_file(dir, tag, other));
+    std::ofstream dst(path);
+    dst << src.rdbuf();  // other config's models under OUR file name
+  }
+  db::ModelCache forged(dir, tag);
+  EXPECT_TRUE(forged
+                  .get_or_fit(engine::EngineKind::kOneXb, opts.pim, opts.host,
+                              opts.fit)
+                  .fitted());
+  EXPECT_EQ(forged.fit_count(), 1u);
+
+  std::remove(path.c_str());
+  db::SessionOptions other = opts;
+  other.host = other_host;
+  std::remove(model_cache_file(dir, tag, other).c_str());
+}
+
+TEST(ModelCacheTest, TruncatedOrEmptyCacheFileIsACacheMiss) {
+  const std::string dir = ::testing::TempDir();
+  const std::string tag = "_truncated_test";
+  const db::SessionOptions opts = fast_options();
+  const std::string path = model_cache_file(dir, tag, opts);
+
+  // Empty file: loads as an unfitted model — must refit, not poison.
+  { std::ofstream out(path); }
+  db::ModelCache empty_cache(dir, tag);
+  EXPECT_TRUE(empty_cache
+                  .get_or_fit(engine::EngineKind::kOneXb, opts.pim, opts.host,
+                              opts.fit)
+                  .fitted());
+  EXPECT_EQ(empty_cache.fit_count(), 1u);
+
+  // Truncated file: the parse error is a cache miss, not an exception.
+  {
+    std::ofstream out(path);
+    out << "fingerprint 12345\nhost 2 1.5";  // record cut short
+  }
+  db::ModelCache truncated_cache(dir, tag);
+  EXPECT_TRUE(truncated_cache
+                  .get_or_fit(engine::EngineKind::kOneXb, opts.pim, opts.host,
+                              opts.fit)
+                  .fitted());
+  EXPECT_EQ(truncated_cache.fit_count(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ModelCacheTest, InMemoryEntriesAreKeyedByConfiguration) {
+  // The fingerprint must separate configurations in memory too, not just on
+  // disk: two sessions with different host configs sharing one cache must
+  // never see each other's fitted models.
+  db::ModelCache cache;  // memory only
+  const db::SessionOptions opts = fast_options();
+  const engine::LatencyModels& a = cache.get_or_fit(
+      engine::EngineKind::kOneXb, opts.pim, opts.host, opts.fit);
+
+  host::HostConfig other_host = opts.host;
+  other_host.line_random_ns *= 4;
+  const engine::LatencyModels& b = cache.get_or_fit(
+      engine::EngineKind::kOneXb, opts.pim, other_host, opts.fit);
+  EXPECT_EQ(cache.fit_count(), 2u);  // distinct configs, distinct campaigns
+  EXPECT_NE(&a, &b);
+
+  // Each configuration hits its own entry afterwards.
+  EXPECT_EQ(&cache.get_or_fit(engine::EngineKind::kOneXb, opts.pim, opts.host,
+                              opts.fit),
+            &a);
+  EXPECT_EQ(&cache.get_or_fit(engine::EngineKind::kOneXb, opts.pim,
+                              other_host, opts.fit),
+            &b);
+  EXPECT_EQ(cache.fit_count(), 2u);
+}
+
+TEST(ModelCacheTest, PutInjectsOnceAndPreemptsFitting) {
+  engine::LatencyModels injected;
+  injected.host_slope[2] = {1.0, 2.0, 0.99};
+  injected.pim_gb[1] = {3.0, 4.0, 0.99};
+  ASSERT_TRUE(injected.fitted());
+
+  db::ModelCache cache;
+  cache.put(engine::EngineKind::kOneXb, injected);
+  EXPECT_TRUE(cache.contains(engine::EngineKind::kOneXb));
+
+  // get_or_fit returns the injected models without running a campaign.
+  const db::SessionOptions opts = fast_options();
+  const engine::LatencyModels& got = cache.get_or_fit(
+      engine::EngineKind::kOneXb, opts.pim, opts.host, opts.fit);
+  EXPECT_EQ(cache.fit_count(), 0u);
+  EXPECT_DOUBLE_EQ(got.pim_gb_ns(8.0, 1), injected.pim_gb_ns(8.0, 1));
+
+  // Resident models are immutable (threads may hold references into them):
+  // a second injection for the same kind is a logic error.
+  EXPECT_THROW(cache.put(engine::EngineKind::kOneXb, injected),
+               std::logic_error);
+}
+
+TEST(ModelCacheTest, PoisonedDiskCacheDoesNotBreakQueries) {
+  // Regression: a truncated cache file used to be loaded as-is; the planner
+  // then died inside nearest() with "empty model" at query time.
+  db::SessionOptions opts = fast_options();
+  opts.model_cache_dir = ::testing::TempDir();
+  opts.model_cache_tag = "_poisoned_test";
+  const std::string path =
+      model_cache_file(opts.model_cache_dir, opts.model_cache_tag, opts);
+  { std::ofstream out(path); }  // empty = unfitted
+
+  db::Database database;
+  database.register_table(testutil::make_synthetic_table(400, 77),
+                          synthetic_policy());
+  db::Session session(database, opts);
+  // A grouped query without force_k needs the planner, hence the models.
+  const db::ResultSet rs = session.execute(
+      "SELECT f_gid, SUM(f_val) AS s FROM synthetic GROUP BY f_gid");
+  EXPECT_GT(rs.row_count(), 0u);
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------
