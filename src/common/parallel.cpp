@@ -1,0 +1,147 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bbpim {
+namespace {
+
+/// One parallel_for invocation: chunks are claimed with an atomic ticket so
+/// any mix of pool workers and the calling thread can drain them.
+struct Batch {
+  Batch(const ChunkFn& f, std::size_t items, std::size_t chunk_count)
+      : fn(&f), n(items), chunks(chunk_count) {}
+
+  const ChunkFn* fn;
+  std::size_t n;
+  std::size_t chunks;
+  std::atomic<std::size_t> next{0};
+
+  std::mutex m;                 // guards done / error
+  std::condition_variable done_cv;
+  std::size_t done = 0;
+  std::exception_ptr error;
+};
+
+/// Claims and runs chunks until the batch has none left to hand out.
+void drain(Batch& b) {
+  while (true) {
+    const std::size_t c = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= b.chunks) return;
+    std::exception_ptr err;
+    try {
+      const auto [begin, end] = chunk_bounds(b.n, b.chunks, c);
+      (*b.fn)(c, begin, end);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(b.m);
+    if (err && !b.error) b.error = err;
+    if (++b.done == b.chunks) b.done_cv.notify_all();
+  }
+}
+
+class WorkPool {
+ public:
+  explicit WorkPool(unsigned workers) {
+    for (unsigned i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Leaked on purpose: workers park in a condition wait for the process
+  /// lifetime, and tearing them down during static destruction would race
+  /// exit-time code for no benefit.
+  static WorkPool& instance() {
+    static WorkPool* pool = new WorkPool(hardware_threads());
+    return *pool;
+  }
+
+  void run(const std::shared_ptr<Batch>& batch) {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      queue_.push_back(batch);
+    }
+    cv_.notify_all();
+    drain(*batch);  // the caller always participates
+    {
+      std::unique_lock<std::mutex> lock(batch->m);
+      batch->done_cv.wait(lock, [&] { return batch->done == batch->chunks; });
+    }
+    remove(batch.get());
+    if (batch->error) std::rethrow_exception(batch->error);
+  }
+
+ private:
+  void remove(const Batch* batch) {
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->get() == batch) {
+        queue_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void worker_loop() {
+    while (true) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(m_);
+        cv_.wait(lock, [&] { return !queue_.empty(); });
+        batch = queue_.front();
+      }
+      drain(*batch);
+      remove(batch.get());
+    }
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace
+
+unsigned hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? n : 1;
+}
+
+unsigned resolve_threads(unsigned requested) {
+  return requested == 0 ? hardware_threads() : requested;
+}
+
+std::size_t parallel_chunks(std::size_t n, unsigned threads) {
+  if (n == 0) return 0;
+  return std::min<std::size_t>(n, threads > 0 ? threads : 1);
+}
+
+std::pair<std::size_t, std::size_t> chunk_bounds(std::size_t n,
+                                                 std::size_t chunks,
+                                                 std::size_t chunk) {
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  const std::size_t begin = chunk * base + std::min(chunk, rem);
+  return {begin, begin + base + (chunk < rem ? 1 : 0)};
+}
+
+void parallel_for(std::size_t n, unsigned threads, const ChunkFn& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = parallel_chunks(n, threads);
+  if (chunks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  auto batch = std::make_shared<Batch>(fn, n, chunks);
+  WorkPool::instance().run(batch);
+}
+
+}  // namespace bbpim

@@ -1,0 +1,50 @@
+// Deterministic-chunking work pool for the simulator's page-parallel phases.
+//
+// The PIM model is embarrassingly parallel across pages — every crossbar of
+// every page evolves independently between host synchronization points — so
+// the engine splits its per-page loops into contiguous chunks and runs them
+// on a shared pool of worker threads. Determinism is the design constraint:
+// chunk boundaries depend only on (item count, thread budget), never on
+// execution timing, and callers write into per-chunk or per-item slots and
+// reduce in chunk order afterwards, so a parallel run is bit-identical to
+// the serial one at any thread count.
+//
+// The pool is process-global and lazily created; the calling thread always
+// participates (a 1-thread budget never touches the pool at all), and
+// concurrent parallel_for calls from different threads (e.g. QueryService
+// workers) interleave safely on the shared workers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace bbpim {
+
+/// Hardware thread count as the runtime reports it; never less than 1.
+unsigned hardware_threads();
+
+/// Resolves a thread-budget knob: 0 means "all hardware threads".
+unsigned resolve_threads(unsigned requested);
+
+/// Number of chunks parallel_for uses for `n` items under `threads`:
+/// min(threads, n), at least 1 for non-empty ranges.
+std::size_t parallel_chunks(std::size_t n, unsigned threads);
+
+/// [begin, end) of chunk `chunk` when [0, n) is split into `chunks`
+/// contiguous chunks. Purely arithmetic: earlier chunks are one item larger
+/// when n % chunks != 0.
+std::pair<std::size_t, std::size_t> chunk_bounds(std::size_t n,
+                                                 std::size_t chunks,
+                                                 std::size_t chunk);
+
+/// Chunk body: fn(chunk_index, begin, end) over the item range [begin, end).
+using ChunkFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+/// Runs `fn` over [0, n) split into parallel_chunks(n, threads) chunks.
+/// threads <= 1 (or n <= 1) runs inline on the caller. Chunks may execute in
+/// any order and interleaving; the first exception thrown by any chunk is
+/// rethrown on the caller after every claimed chunk finished.
+void parallel_for(std::size_t n, unsigned threads, const ChunkFn& fn);
+
+}  // namespace bbpim

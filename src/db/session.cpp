@@ -97,10 +97,12 @@ class PimExecutor final : public Executor {
 /// backend report plausible-looking but meaningless numbers.
 void reject_pim_exec_options(BackendKind backend,
                              const engine::ExecOptions& opts) {
-  if (opts.force_k.has_value() || opts.skip_host_gb) {
+  if (opts.force_k.has_value() || opts.skip_host_gb ||
+      opts.sim_threads.has_value() || opts.sim_scalar) {
     throw std::invalid_argument(
         std::string("execute: backend '") + backend_name(backend) +
-        "' does not honor ExecOptions (force_k / skip_host_gb are PIM-only)");
+        "' does not honor ExecOptions (force_k / skip_host_gb / sim_threads /"
+        " sim_scalar are PIM-only)");
   }
 }
 

@@ -1,15 +1,28 @@
 #include "engine/filter_compiler.hpp"
 
+#include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace bbpim::engine {
 namespace {
 
 /// Emits one predicate; returns the owned result column.
+/// Field of a predicate's attribute, or a dummy for the constant kinds —
+/// a kNever can name an attribute of *another* part (it is compiled on
+/// every part so each result column is statically false), whose field this
+/// layout cannot resolve.
+pim::Field predicate_field(const RecordLayout& layout,
+                           const sql::BoundPredicate& p) {
+  using Kind = sql::BoundPredicate::Kind;
+  if (p.kind == Kind::kNever || p.kind == Kind::kAlways) return pim::Field{};
+  return layout.field(p.attr);
+}
+
 std::uint16_t emit_predicate(pim::ProgramBuilder& pb, const RecordLayout& layout,
                              const sql::BoundPredicate& p) {
   using Kind = sql::BoundPredicate::Kind;
-  const pim::Field f = layout.field(p.attr);
+  const pim::Field f = predicate_field(layout, p);
   switch (p.kind) {
     case Kind::kEq: return pb.emit_eq_const(f, p.v1);
     case Kind::kLt: return pb.emit_lt_const(f, p.v1);
@@ -30,6 +43,7 @@ CompiledFilter compile_filter(const std::vector<sql::BoundPredicate>& filters,
                               const RecordLayout& layout,
                               pim::ColumnAlloc& alloc) {
   pim::ProgramBuilder pb(alloc);
+  pim::WordProgram words;
   std::uint16_t acc = 0;
   bool have_acc = false;
   std::size_t compiled = 0;
@@ -40,12 +54,14 @@ CompiledFilter compile_filter(const std::vector<sql::BoundPredicate>& filters,
       continue;  // another part's predicate
     }
     const std::uint16_t term = emit_predicate(pb, layout, p);
+    words.push_back(pim::word_predicate(p, predicate_field(layout, p), term));
     ++compiled;
     if (!have_acc) {
       acc = term;
       have_acc = true;
     } else {
       const std::uint16_t next = pb.emit_and(acc, term);
+      words.push_back(pim::WordOp::and_op(acc, term, next));
       pb.release(acc);
       pb.release(term);
       acc = next;
@@ -56,16 +72,71 @@ CompiledFilter compile_filter(const std::vector<sql::BoundPredicate>& filters,
   std::uint16_t result;
   if (have_acc) {
     result = pb.emit_and(acc, layout.valid_col());
+    words.push_back(pim::WordOp::and_op(acc, layout.valid_col(), result));
     pb.release(acc);
   } else {
     result = pb.emit_copy(layout.valid_col());
+    words.push_back(pim::WordOp::copy(layout.valid_col(), result));
   }
 
   CompiledFilter out;
   out.program = pb.take();
+  out.words = std::move(words);
   out.result_col = result;
   out.predicate_count = compiled;
   return out;
+}
+
+namespace {
+
+/// Exact (collision-free) textual key over everything compilation reads:
+/// the part, the verbatim allocator state, and every predicate field.
+std::string filter_cache_key(const std::vector<sql::BoundPredicate>& filters,
+                             int part, const std::string& alloc_state) {
+  std::ostringstream key;
+  key << part << '#' << alloc_state;
+  for (const sql::BoundPredicate& p : filters) {
+    key << '|' << static_cast<int>(p.kind) << ',' << p.attr << ',' << p.v1
+        << ',' << p.v2;
+    for (const std::uint64_t v : p.in_values) key << ';' << v;
+  }
+  return key.str();
+}
+
+}  // namespace
+
+std::shared_ptr<const CompiledFilter> FilterCache::get_or_compile(
+    const std::vector<sql::BoundPredicate>& filters, int part,
+    const RecordLayout& layout, pim::ColumnAlloc& alloc) {
+  std::string key = filter_cache_key(filters, part, alloc.state_key());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      std::shared_ptr<const CompiledFilter> hit = it->second;
+      // Replay outside the map lookup scope is fine: the entry is immutable.
+      alloc.acquire(hit->result_col);
+      return hit;
+    }
+    ++misses_;
+  }
+  auto compiled = std::make_shared<const CompiledFilter>(
+      compile_filter(filters, layout, alloc));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entries_.size() >= kMaxEntries) entries_.clear();
+  entries_.emplace(std::move(key), compiled);
+  return compiled;
+}
+
+std::size_t FilterCache::hit_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t FilterCache::miss_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
 }
 
 CompiledFilter compile_group_match(const std::vector<std::size_t>& group_attrs,
@@ -76,28 +147,36 @@ CompiledFilter compile_group_match(const std::vector<std::size_t>& group_attrs,
     throw std::invalid_argument("compile_group_match: key arity mismatch");
   }
   pim::ProgramBuilder pb(alloc);
+  pim::WordProgram words;
   std::uint16_t acc = 0;
   bool have_acc = false;
   std::size_t compiled = 0;
   for (std::size_t i = 0; i < group_attrs.size(); ++i) {
     if (!layout.has(group_attrs[i])) continue;
-    const std::uint16_t eq =
-        pb.emit_eq_const(layout.field(group_attrs[i]), key[i]);
+    const pim::Field f = layout.field(group_attrs[i]);
+    const std::uint16_t eq = pb.emit_eq_const(f, key[i]);
+    words.push_back(
+        pim::WordOp::predicate(pim::WordOp::Kind::kEq, f, key[i], 0, eq));
     ++compiled;
     if (!have_acc) {
       acc = eq;
       have_acc = true;
     } else {
       const std::uint16_t next = pb.emit_and(acc, eq);
+      words.push_back(pim::WordOp::and_op(acc, eq, next));
       pb.release(acc);
       pb.release(eq);
       acc = next;
     }
   }
-  if (!have_acc) acc = pb.emit_const(true);
+  if (!have_acc) {
+    acc = pb.emit_const(true);
+    words.push_back(pim::WordOp::const1(acc));
+  }
 
   CompiledFilter out;
   out.program = pb.take();
+  out.words = std::move(words);
   out.result_col = acc;
   out.predicate_count = compiled;
   return out;

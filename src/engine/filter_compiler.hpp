@@ -7,16 +7,26 @@
 // combines part results via a host transfer (Section V-A).
 #pragma once
 
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/layout.hpp"
 #include "pim/microcode.hpp"
+#include "pim/wordeval.hpp"
 #include "sql/logical_plan.hpp"
 
 namespace bbpim::engine {
 
 struct CompiledFilter {
   pim::MicroProgram program;
+  /// Semantic twin of `program` for the fast word-level evaluator: same
+  /// output columns, same boolean functions, no gate-by-gate simulation.
+  /// The gate program remains what the cost model charges.
+  pim::WordProgram words;
   /// Result bit column (stays allocated in the caller's ColumnAlloc until
   /// released).
   std::uint16_t result_col = 0;
@@ -39,5 +49,37 @@ CompiledFilter compile_group_match(const std::vector<std::size_t>& group_attrs,
                                    const std::vector<std::uint64_t>& key,
                                    const RecordLayout& layout,
                                    pim::ColumnAlloc& alloc);
+
+/// Thread-safe memo of compiled WHERE programs, keyed by the exact predicate
+/// list, the part, and the scratch allocator's state fingerprint. Compiling
+/// is a pure function of (predicates, layout, allocator state), so a hit
+/// returns the cached program and merely replays its allocator effect
+/// (acquiring the result column) — repeated prepared-statement executions
+/// skip recompilation entirely. One cache lives in each PimStore; the
+/// layouts the key refers to are the store's own.
+class FilterCache {
+ public:
+  /// On miss, compiles via compile_filter (mutating `alloc` exactly as a
+  /// direct call would) and caches the result; on hit, re-acquires the
+  /// cached program's result column from `alloc`. Either way the returned
+  /// program's result column is owned by the caller until released.
+  std::shared_ptr<const CompiledFilter> get_or_compile(
+      const std::vector<sql::BoundPredicate>& filters, int part,
+      const RecordLayout& layout, pim::ColumnAlloc& alloc);
+
+  std::size_t hit_count() const;
+  std::size_t miss_count() const;
+
+ private:
+  /// Bounded so adversarial workloads (every query a distinct filter set)
+  /// cannot grow the cache without limit; overflowing resets it.
+  static constexpr std::size_t kMaxEntries = 512;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledFilter>>
+      entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
 
 }  // namespace bbpim::engine

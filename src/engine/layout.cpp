@@ -8,9 +8,11 @@ RecordLayout RecordLayout::build(const rel::Schema& schema,
                                  std::span<const std::size_t> attrs,
                                  const pim::PimConfig& cfg) {
   RecordLayout l;
+  l.pos_.assign(schema.attribute_count(), -1);
   std::uint32_t offset = 0;
   for (const std::size_t a : attrs) {
     const rel::Attribute& attr = schema.attribute(a);
+    l.pos_.at(a) = static_cast<std::int32_t>(l.attrs_.size());
     l.attrs_.push_back(a);
     l.fields_.push_back(pim::Field{static_cast<std::uint16_t>(offset),
                                    static_cast<std::uint16_t>(attr.bits)});
@@ -35,17 +37,14 @@ RecordLayout RecordLayout::build(const rel::Schema& schema,
 }
 
 bool RecordLayout::has(std::size_t attr) const {
-  for (const std::size_t a : attrs_) {
-    if (a == attr) return true;
-  }
-  return false;
+  return attr < pos_.size() && pos_[attr] >= 0;
 }
 
 pim::Field RecordLayout::field(std::size_t attr) const {
-  for (std::size_t i = 0; i < attrs_.size(); ++i) {
-    if (attrs_[i] == attr) return fields_[i];
+  if (attr >= pos_.size() || pos_[attr] < 0) {
+    throw std::out_of_range("RecordLayout::field: attribute not in this part");
   }
-  throw std::out_of_range("RecordLayout::field: attribute not in this part");
+  return fields_[static_cast<std::size_t>(pos_[attr])];
 }
 
 }  // namespace bbpim::engine

@@ -47,6 +47,9 @@ class RecordLayout {
  private:
   std::vector<std::size_t> attrs_;            // placed attribute indices
   std::vector<pim::Field> fields_;            // parallel to attrs_
+  /// attr -> index into fields_, -1 when absent: has()/field() are O(1) —
+  /// they sit on the per-record host read path (host-gb, sampling).
+  std::vector<std::int32_t> pos_;
   std::uint16_t valid_col_ = 0;
   std::uint16_t scratch_begin_ = 0;
   std::uint16_t total_cols_ = 0;

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/filter_compiler.hpp"
 #include "engine/layout.hpp"
 #include "pim/module.hpp"
 #include "relational/table.hpp"
@@ -91,6 +92,10 @@ class PimStore {
   const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
   co_occurrence(std::size_t attr_a, std::size_t attr_b) const;
 
+  /// Memoized WHERE compilations against this store's layouts (repeated
+  /// prepared-statement executions skip recompilation).
+  FilterCache& filter_cache() { return filter_cache_; }
+
  private:
   void load_part(int part);
 
@@ -111,6 +116,7 @@ class PimStore {
   mutable std::map<std::pair<std::size_t, std::size_t>,
                    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>>
       co_cache_;
+  FilterCache filter_cache_;
 };
 
 }  // namespace bbpim::engine

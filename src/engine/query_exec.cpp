@@ -1,11 +1,16 @@
 #include "engine/query_exec.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <set>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/parallel.hpp"
 #include "engine/filter_compiler.hpp"
 #include "host/pipeline.hpp"
 #include "host/read_set.hpp"
@@ -61,7 +66,9 @@ class Execution {
         hcfg_(hcfg),
         models_(models),
         q_(q),
-        opts_(opts) {
+        opts_(opts),
+        sim_threads_(resolve_threads(opts.sim_threads.value_or(hcfg.sim_threads))),
+        vectorized_(!opts.sim_scalar) {
     for (int part = 0; part < store_.parts(); ++part) {
       allocs_.push_back(store_.layout(part).make_alloc());
     }
@@ -94,19 +101,58 @@ class Execution {
     advance_clock(end, slot);
   }
 
-  /// Runs a micro-program on every page of selected parts as one phase.
-  void logic_phase(const std::vector<std::pair<int, const pim::MicroProgram*>>&
-                       part_programs,
-                   TimeNs* slot) {
-    std::vector<pim::RequestTrace> traces;
-    for (const auto& [part, prog] : part_programs) {
-      if (prog == nullptr || prog->empty()) continue;
-      for (std::size_t p = 0; p < pages(); ++p) {
-        traces.push_back(
-            pim::execute_program(store_.page(part, p), *prog, cfg_, &meter_));
-      }
+  /// Runs fn(job_index, meter) for every index in [0, n), split across the
+  /// simulation thread budget. Jobs must be independent (each touches its
+  /// own page and writes its own output slots). Parallel workers accumulate
+  /// energy into per-chunk journaling meters that are replayed into meter_
+  /// in chunk (== job) order afterwards, so every run — serial or parallel,
+  /// any thread count — performs the identical sequence of meter adds and
+  /// stays bit-identical.
+  template <typename Fn>
+  void run_jobs(std::size_t n, Fn&& fn) {
+    if (sim_threads_ <= 1 || n <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i, meter_);
+      return;
     }
-    if (traces.empty()) return;
+    const std::size_t chunks = parallel_chunks(n, sim_threads_);
+    std::vector<pim::EnergyMeter> meters(chunks,
+                                         pim::EnergyMeter(/*journal=*/true));
+    parallel_for(n, sim_threads_,
+                 [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     fn(i, meters[chunk]);
+                   }
+                 });
+    for (const pim::EnergyMeter& m : meters) m.replay_into(meter_);
+  }
+
+  /// One program of a logic phase: the gate program (costed) plus its
+  /// optional word-level semantic twin (fast functional evaluation).
+  struct PhaseProg {
+    int part;
+    const pim::MicroProgram* prog;
+    const pim::WordProgram* words = nullptr;
+  };
+
+  /// Runs a micro-program on every page of selected parts as one phase.
+  void logic_phase(const std::vector<PhaseProg>& part_programs, TimeNs* slot) {
+    struct Job {
+      const PhaseProg* pp;
+      std::size_t page;
+    };
+    std::vector<Job> jobs;
+    for (const PhaseProg& pp : part_programs) {
+      if (pp.prog == nullptr || pp.prog->empty()) continue;
+      for (std::size_t p = 0; p < pages(); ++p) jobs.push_back({&pp, p});
+    }
+    if (jobs.empty()) return;
+    std::vector<pim::RequestTrace> traces(jobs.size());
+    run_jobs(jobs.size(), [&](std::size_t i, pim::EnergyMeter& meter) {
+      const Job& j = jobs[i];
+      traces[i] =
+          pim::execute_program(store_.page(j.pp->part, j.page), *j.pp->prog,
+                               cfg_, &meter, vectorized_, j.pp->words);
+    });
     schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
   }
 
@@ -114,13 +160,12 @@ class Execution {
   std::vector<BitVec> read_column_phase(int part, std::uint16_t col,
                                         TimeNs* slot) {
     std::vector<BitVec> out(pages());
-    std::vector<pim::RequestTrace> traces;
-    traces.reserve(pages());
-    for (std::size_t p = 0; p < pages(); ++p) {
-      traces.push_back(pim::read_bit_column(store_.page(part, p), col,
-                                            hcfg_.line_stream_ns, cfg_,
-                                            &meter_, &out[p]));
-    }
+    std::vector<pim::RequestTrace> traces(pages());
+    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter& meter) {
+      traces[p] =
+          pim::read_bit_column(store_.page(part, p), col, hcfg_.line_stream_ns,
+                               cfg_, &meter, &out[p], vectorized_);
+    });
     // Plain loads: the issuing thread is occupied for the whole stream.
     schedule_phase(traces, /*window=*/1, /*issue_gap=*/0.0, slot);
     return out;
@@ -129,13 +174,12 @@ class Execution {
   /// Writes per-page bit vectors into a column of a part (two-xb transfer).
   void write_column_phase(int part, std::uint16_t col,
                           const std::vector<BitVec>& bits, TimeNs* slot) {
-    std::vector<pim::RequestTrace> traces;
-    traces.reserve(pages());
-    for (std::size_t p = 0; p < pages(); ++p) {
-      traces.push_back(pim::write_bit_column(store_.page(part, p), col,
-                                             bits[p], hcfg_.line_stream_ns,
-                                             cfg_, &meter_));
-    }
+    std::vector<pim::RequestTrace> traces(pages());
+    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter& meter) {
+      traces[p] = pim::write_bit_column(store_.page(part, p), col, bits[p],
+                                        hcfg_.line_stream_ns, cfg_, &meter,
+                                        vectorized_);
+    });
     schedule_phase(traces, /*window=*/1, /*issue_gap=*/0.0, slot);
   }
 
@@ -214,6 +258,8 @@ class Execution {
   const ExecOptions& opts_;
 
   std::vector<pim::ColumnAlloc> allocs_;
+  unsigned sim_threads_ = 1;  ///< resolved simulation thread budget
+  bool vectorized_ = true;    ///< fast kernels (off for the scalar baseline)
   pim::EnergyMeter meter_;
   pim::PowerTracker tracker_;
   TimeNs clock_ = 0;
@@ -245,46 +291,64 @@ class Execution {
 // ---------------------------------------------------------------------------
 
 void Execution::filter_phase() {
-  std::vector<CompiledFilter> compiled;
+  // Memoized compilation: the key covers (predicates, part, allocator
+  // state), so repeated prepared-statement executions reuse the program and
+  // only replay its result-column allocation. The scalar baseline compiles
+  // from scratch, matching the pre-cache behavior it measures.
+  std::vector<std::shared_ptr<const CompiledFilter>> compiled;
   for (int part = 0; part < store_.parts(); ++part) {
-    compiled.push_back(
-        compile_filter(q_.filters, store_.layout(part), alloc(part)));
+    if (vectorized_) {
+      compiled.push_back(store_.filter_cache().get_or_compile(
+          q_.filters, part, store_.layout(part), alloc(part)));
+    } else {
+      compiled.push_back(std::make_shared<const CompiledFilter>(
+          compile_filter(q_.filters, store_.layout(part), alloc(part))));
+    }
   }
   {
-    std::vector<std::pair<int, const pim::MicroProgram*>> progs;
+    std::vector<PhaseProg> progs;
     for (int part = 0; part < store_.parts(); ++part) {
-      progs.emplace_back(part, &compiled[part].program);
+      progs.push_back(
+          {part, &compiled[part]->program, &compiled[part]->words});
     }
     logic_phase(progs, &stats_.phases.filter);
   }
 
   if (store_.parts() == 1) {
-    r_col_ = compiled[0].result_col;
+    r_col_ = compiled[0]->result_col;
   } else {
     // two-xb: ship part 1's bits through the host and AND them into part 0.
     transfer_chunk_ = alloc(0).alloc_aligned_chunk(cfg_.read_bits);
     const std::vector<BitVec> bits =
-        read_column_phase(1, compiled[1].result_col, &stats_.phases.transfer);
+        read_column_phase(1, compiled[1]->result_col, &stats_.phases.transfer);
     write_column_phase(0, transfer_chunk_->offset, bits,
                        &stats_.phases.transfer);
     pim::ProgramBuilder pb(alloc(0));
     const std::uint16_t combined =
-        pb.emit_and(compiled[0].result_col, transfer_chunk_->offset);
+        pb.emit_and(compiled[0]->result_col, transfer_chunk_->offset);
+    const pim::WordProgram wp = {pim::WordOp::and_op(
+        compiled[0]->result_col, transfer_chunk_->offset, combined)};
     const pim::MicroProgram prog = pb.take();
-    logic_phase({{0, &prog}}, &stats_.phases.transfer);
-    alloc(0).release(compiled[0].result_col);
-    alloc(1).release(compiled[1].result_col);
+    logic_phase({{0, &prog, &wp}}, &stats_.phases.transfer);
+    alloc(0).release(compiled[0]->result_col);
+    alloc(1).release(compiled[1]->result_col);
     r_col_ = combined;
   }
 
   // Free introspection: exact selected-record count for the stats tables.
-  std::size_t selected = 0;
-  for (std::size_t p = 0; p < pages(); ++p) {
+  // Copy-free column popcounts, pages in parallel, reduced in page order.
+  std::vector<std::size_t> page_selected(pages(), 0);
+  run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
     pim::Page& page = store_.page(0, p);
+    std::size_t n = 0;
     for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
-      selected += page.crossbar(x).column(r_col_).popcount();
+      n += vectorized_ ? page.crossbar(x).column_popcount(r_col_)
+                       : page.crossbar(x).column(r_col_).popcount();
     }
-  }
+    page_selected[p] = n;
+  });
+  std::size_t selected = 0;
+  for (const std::size_t n : page_selected) selected += n;
   stats_.selected_records = selected;
   stats_.selectivity =
       static_cast<double>(selected) / static_cast<double>(store_.record_count());
@@ -397,6 +461,22 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
   req.with_count = want_count;
   req.count = count_field_;
 
+  // Per-page partial folds, combined in page order at the end: SUM is exact
+  // modular u64 addition and MIN/MAX are associative, so the split cannot
+  // change the result. In vectorized mode the partials are captured while
+  // the circuits run (the written result fields read back to exactly the
+  // captured masked values, so re-reading them is pure overhead); the
+  // scalar baseline reads them back from the crossbars like the host would.
+  struct Partial {
+    std::uint64_t acc;
+    std::uint64_t count;
+  };
+  const std::uint64_t value_max =
+      req.value.width >= 64 ? ~0ULL : (1ULL << req.value.width) - 1;
+  std::vector<Partial> partials(
+      pages(), Partial{req.op == pim::AggOp::kMin ? value_max : 0, 0});
+  bool folded = false;
+
   if (kind_ == EngineKind::kPimdb) {
     // Pure bulk-bitwise reduction: identical result, very different price.
     // Each tree level is a separate macro request per page (the host must
@@ -412,13 +492,14 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
     std::uint64_t total_cycles = 0;
     for (const std::uint64_t c : phases) total_cycles += c;
 
-    for (std::size_t p = 0; p < pages(); ++p) {
+    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
       pim::Page& page = store_.page(0, p);
+      Partial& part = partials[p];
       for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
         pim::Crossbar& xb = page.crossbar(x);
         std::uint64_t count = 0;
-        const std::uint64_t v =
-            pim::compute_aggregate(xb, req.value, select_col, req.op, &count);
+        const std::uint64_t v = pim::compute_aggregate(
+            xb, req.value, select_col, req.op, &count, vectorized_);
         const std::uint64_t rmask =
             req.result.width >= 64 ? ~0ULL : (1ULL << req.result.width) - 1;
         xb.write_row_bits(0, req.result.offset, req.result.width, v & rmask);
@@ -426,8 +507,15 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
           xb.write_row_bits(0, req.count.offset, req.count.width, count);
         }
         xb.add_uniform_wear(total_cycles);
+        if (vectorized_) {
+          part.acc = pim::agg_fold(req.op, part.acc, v & rmask);
+          const std::uint64_t cmask =
+              req.count.width >= 64 ? ~0ULL : (1ULL << req.count.width) - 1;
+          if (want_count) part.count += count & cmask;
+        }
       }
-    }
+    });
+    folded = vectorized_;
     for (const std::uint64_t cycles : phases) {
       std::vector<pim::RequestTrace> traces;
       traces.reserve(pages());
@@ -440,11 +528,19 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
       schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
     }
   } else {
-    std::vector<pim::RequestTrace> traces;
-    traces.reserve(pages());
-    for (std::size_t p = 0; p < pages(); ++p) {
-      traces.push_back(
-          pim::execute_aggregate(store_.page(0, p), req, cfg_, &meter_));
+    std::vector<pim::RequestTrace> traces(pages());
+    std::vector<pim::PageAggResult> page_results(pages());
+    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter& meter) {
+      traces[p] =
+          pim::execute_aggregate(store_.page(0, p), req, cfg_, &meter,
+                                 vectorized_,
+                                 vectorized_ ? &page_results[p] : nullptr);
+    });
+    if (vectorized_) {
+      for (std::size_t p = 0; p < pages(); ++p) {
+        partials[p] = Partial{page_results[p].value, page_results[p].count};
+      }
+      folded = true;
     }
     schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
   }
@@ -454,25 +550,26 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
   if (want_count) lines_per_page += pim::chunk_span(count_field_, cfg_);
   line_read_phase(pages() * lines_per_page, slot);
 
-  const std::uint64_t value_max =
-      req.value.width >= 64 ? ~0ULL : (1ULL << req.value.width) - 1;
+  if (!folded) {
+    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
+      pim::Page& page = store_.page(0, p);
+      Partial& part = partials[p];
+      for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+        const std::uint64_t v = page.crossbar(x).read_row_bits(
+            0, result_field_.offset, result_field_.width);
+        part.acc = pim::agg_fold(req.op, part.acc, v);
+        if (want_count) {
+          part.count += page.crossbar(x).read_row_bits(0, count_field_.offset,
+                                                       count_field_.width);
+        }
+      }
+    });
+  }
   std::uint64_t acc = req.op == pim::AggOp::kMin ? value_max : 0;
   std::uint64_t count = 0;
-  for (std::size_t p = 0; p < pages(); ++p) {
-    pim::Page& page = store_.page(0, p);
-    for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
-      const std::uint64_t v = page.crossbar(x).read_row_bits(
-          0, result_field_.offset, result_field_.width);
-      switch (req.op) {
-        case pim::AggOp::kSum: acc += v; break;
-        case pim::AggOp::kMin: acc = std::min(acc, v); break;
-        case pim::AggOp::kMax: acc = std::max(acc, v); break;
-      }
-      if (want_count) {
-        count += page.crossbar(x).read_row_bits(0, count_field_.offset,
-                                                count_field_.width);
-      }
-    }
+  for (const Partial& part : partials) {
+    acc = pim::agg_fold(req.op, acc, part.acc);
+    count += part.count;
   }
   if (want_count) *out_count = count;
   return acc;
@@ -492,7 +589,7 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
     CompiledFilter match1 =
         compile_group_match(q_.group_by, key, store_.layout(1), alloc(1));
     if (match1.predicate_count > 0) {
-      logic_phase({{1, &match1.program}}, slot);
+      logic_phase({{1, &match1.program, &match1.words}}, slot);
       const std::vector<BitVec> bits =
           read_column_phase(1, match1.result_col, slot);
       if (!transfer_chunk_) {
@@ -507,17 +604,21 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
   // Part-0 program: group match AND filter result (AND transferred bits),
   // plus mask bookkeeping and per-pass masked selects, in one request.
   pim::ProgramBuilder pb(alloc(0));
+  pim::WordProgram wp;
   std::uint16_t acc = 0;
   bool have_acc = false;
   for (std::size_t i = 0; i < q_.group_by.size(); ++i) {
     if (!store_.layout(0).has(q_.group_by[i])) continue;
-    const std::uint16_t eq =
-        pb.emit_eq_const(store_.layout(0).field(q_.group_by[i]), key[i]);
+    const pim::Field f = store_.layout(0).field(q_.group_by[i]);
+    const std::uint16_t eq = pb.emit_eq_const(f, key[i]);
+    wp.push_back(
+        pim::WordOp::predicate(pim::WordOp::Kind::kEq, f, key[i], 0, eq));
     if (!have_acc) {
       acc = eq;
       have_acc = true;
     } else {
       const std::uint16_t next = pb.emit_and(acc, eq);
+      wp.push_back(pim::WordOp::and_op(acc, eq, next));
       pb.release(acc);
       pb.release(eq);
       acc = next;
@@ -526,12 +627,15 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
   std::uint16_t sg;
   if (have_acc) {
     sg = pb.emit_and(acc, r_col_);
+    wp.push_back(pim::WordOp::and_op(acc, r_col_, sg));
     pb.release(acc);
   } else {
     sg = pb.emit_copy(r_col_);
+    wp.push_back(pim::WordOp::copy(r_col_, sg));
   }
   if (have_transfer) {
     const std::uint16_t next = pb.emit_and(sg, transfer_chunk_->offset);
+    wp.push_back(pim::WordOp::and_op(sg, transfer_chunk_->offset, next));
     pb.release(sg);
     sg = next;
   }
@@ -539,10 +643,13 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
     if (!mask_valid_) {
       mask_col_ = alloc(0).alloc();
       pb.emit_copy_into(sg, mask_col_);
+      wp.push_back(pim::WordOp::copy(sg, mask_col_));
       mask_valid_ = true;
     } else {
       const std::uint16_t m = pb.emit_or(mask_col_, sg);
       pb.emit_copy_into(m, mask_col_);
+      wp.push_back(pim::WordOp::or_op(mask_col_, sg, m));
+      wp.push_back(pim::WordOp::copy(m, mask_col_));
       pb.release(m);
     }
   }
@@ -552,12 +659,14 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
   for (std::size_t i = 0; i < passes_.size(); ++i) {
     if (passes_[i].mask_attr_col) {
       pass_select[i] = pb.emit_and(sg, *passes_[i].mask_attr_col);
+      wp.push_back(
+          pim::WordOp::and_op(sg, *passes_[i].mask_attr_col, pass_select[i]));
       owned_selects.push_back(pass_select[i]);
     }
   }
   {
     const pim::MicroProgram prog = pb.take();
-    logic_phase({{0, &prog}}, slot);
+    logic_phase({{0, &prog, &wp}}, slot);
   }
 
   // Aggregation passes.
@@ -601,14 +710,21 @@ void Execution::sample_phase() {
   // Read the filter bits of one page (32 K records), single thread.
   BitVec bits;
   {
-    pim::RequestTrace t = pim::read_bit_column(
-        store_.page(0, 0), r_col_, hcfg_.line_stream_ns, cfg_, &meter_, &bits);
+    pim::RequestTrace t =
+        pim::read_bit_column(store_.page(0, 0), r_col_, hcfg_.line_stream_ns,
+                             cfg_, &meter_, &bits, vectorized_);
     advance_clock(clock_ + t.duration_ns, slot);
     ++stats_.pim_requests;
   }
 
-  // Read the group attributes of every sampled survivor.
-  host::ReadSet rs(1);
+  // Read the group attributes of every sampled survivor. The dense read-set
+  // variant dedupes lines on a bitmap instead of a hash set.
+  host::ReadSet rs =
+      vectorized_
+          ? host::ReadSet(1, rows(),
+                          static_cast<std::uint32_t>(store_.parts()) *
+                              cfg_.chunks_per_row())
+          : host::ReadSet(1);
   const auto chunks = chunk_set(q_.group_by);
   std::unordered_map<GroupKey, std::uint64_t, KeyHash> counts;
   std::size_t hits = 0;
@@ -663,11 +779,31 @@ void Execution::build_candidates() {
       candidates_complete_ = false;
       break;
     }
+    // Per-predicate state hoisted out of the value loop: the co-occurrence
+    // lookup is a cache-map access and used to run once per (value,
+    // predicate) — the dominant cost of candidate enumeration for
+    // high-cardinality group attributes.
+    struct PredDomain {
+      const sql::BoundPredicate* p;
+      /// Co-occurring values per candidate value; null when the predicate
+      /// is on `attr` itself or no co-occurrence stats exist.
+      const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>* co;
+    };
+    std::vector<PredDomain> preds;
+    for (const sql::BoundPredicate& p : q_.filters) {
+      if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+      // Predicates on co-occurring attributes constrain the candidate
+      // domain too (e.g. p_category = 'MFGR#12' leaves only that
+      // category's brands; d_yearmonth = 'Dec1997' leaves d_year = 1997 —
+      // Table II's "subgroups according to query and database details").
+      preds.push_back(
+          {&p, p.attr == attr ? nullptr : store_.co_occurrence(attr, p.attr)});
+    }
     std::vector<std::uint64_t> vals;
     for (const std::uint64_t v : *dv) {
       bool ok = true;
-      for (const sql::BoundPredicate& p : q_.filters) {
-        if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+      for (const PredDomain& pd : preds) {
+        const sql::BoundPredicate& p = *pd.p;
         if (p.attr == attr) {
           if (!p.matches(v)) {
             ok = false;
@@ -675,14 +811,9 @@ void Execution::build_candidates() {
           }
           continue;
         }
-        // Predicates on co-occurring attributes constrain the candidate
-        // domain too (e.g. p_category = 'MFGR#12' leaves only that
-        // category's brands; d_yearmonth = 'Dec1997' leaves d_year = 1997 —
-        // Table II's "subgroups according to query and database details").
-        const auto* co = store_.co_occurrence(attr, p.attr);
-        if (co != nullptr) {
-          const auto dep = co->find(v);
-          if (dep != co->end()) {
+        if (pd.co != nullptr) {
+          const auto dep = pd.co->find(v);
+          if (dep != pd.co->end()) {
             bool any = false;
             for (const std::uint64_t w : dep->second) {
               if (p.matches(w)) {
@@ -791,59 +922,207 @@ void Execution::host_gb_phase() {
   if (mask_valid_) {
     pim::ProgramBuilder pb(alloc(0));
     residual = pb.emit_andnot(r_col_, mask_col_);
+    const pim::WordProgram wp = {
+        pim::WordOp::andnot_op(r_col_, mask_col_, residual)};
     residual_owned = true;
     const pim::MicroProgram prog = pb.take();
-    logic_phase({{0, &prog}}, slot);
+    logic_phase({{0, &prog, &wp}}, slot);
   }
 
   const std::vector<BitVec> bits = read_column_phase(0, residual, slot);
 
   const auto chunks = chunk_set(host_read_attrs());
-  host::ReadSet rs(pages());
   std::size_t processed = 0;
-  for (std::size_t p = 0; p < pages(); ++p) {
-    const std::uint32_t valid = store_.page_records(p);
-    for (std::size_t i = bits[p].find_next(0); i < bits[p].size();
-         i = bits[p].find_next(i + 1)) {
-      if (i >= valid) break;
-      ++processed;
-      const std::size_t record = p * store_.records_per_page() + i;
-      const pim::Page::RecordCoord c =
-          store_.page(0, p).locate(static_cast<std::uint32_t>(i));
-      for (const auto& [part, chunk] : chunks) {
-        rs.touch(static_cast<std::uint32_t>(p), c.row,
-                 static_cast<std::uint32_t>(part) * cfg_.chunks_per_row() +
-                     chunk);
-      }
-      // Classify + aggregate on the CPU.
-      GroupKey key = group_attr_key(record);
-      std::int64_t v = 1;
-      if (q_.agg_func != sql::AggFunc::kCount) {
-        const std::uint64_t va = store_.read_attr(record, q_.agg_expr.a);
-        const std::uint64_t vb = q_.agg_expr.kind == sql::Expr::Kind::kColumn
-                                     ? 0
-                                     : store_.read_attr(record, q_.agg_expr.b);
-        v = static_cast<std::int64_t>(q_.agg_expr.eval(va, vb));
-      }
-      auto [it, fresh] = results_.try_emplace(std::move(key),
-                                              std::pair<std::int64_t, bool>{
-                                                  0, false});
-      if (q_.agg_func == sql::AggFunc::kMin) {
-        it->second.first = fresh ? v : std::min(it->second.first, v);
-      } else if (q_.agg_func == sql::AggFunc::kMax) {
-        it->second.first = fresh ? v : std::max(it->second.first, v);
-      } else {
-        it->second.first += v;
+  std::vector<std::uint32_t> page_lines(pages(), 0);
+
+  if (!vectorized_) {
+    // Scalar baseline: the seed's record-at-a-time walk (hash-set line
+    // dedupe, a key vector per record).
+    host::ReadSet rs(pages());
+    for (std::size_t p = 0; p < pages(); ++p) {
+      const std::uint32_t valid = store_.page_records(p);
+      for (std::size_t i = bits[p].find_next(0); i < bits[p].size();
+           i = bits[p].find_next(i + 1)) {
+        if (i >= valid) break;
+        ++processed;
+        const std::size_t record = p * store_.records_per_page() + i;
+        const pim::Page::RecordCoord c =
+            store_.page(0, p).locate(static_cast<std::uint32_t>(i));
+        for (const auto& [part, chunk] : chunks) {
+          rs.touch(static_cast<std::uint32_t>(p), c.row,
+                   static_cast<std::uint32_t>(part) * cfg_.chunks_per_row() +
+                       chunk);
+        }
+        // Classify + aggregate on the CPU.
+        GroupKey key = group_attr_key(record);
+        std::int64_t v = 1;
+        if (q_.agg_func != sql::AggFunc::kCount) {
+          const std::uint64_t va = store_.read_attr(record, q_.agg_expr.a);
+          const std::uint64_t vb =
+              q_.agg_expr.kind == sql::Expr::Kind::kColumn
+                  ? 0
+                  : store_.read_attr(record, q_.agg_expr.b);
+          v = static_cast<std::int64_t>(q_.agg_expr.eval(va, vb));
+        }
+        auto [it, fresh] = results_.try_emplace(
+            std::move(key), std::pair<std::int64_t, bool>{0, false});
+        if (q_.agg_func == sql::AggFunc::kMin) {
+          it->second.first = fresh ? v : std::min(it->second.first, v);
+        } else if (q_.agg_func == sql::AggFunc::kMax) {
+          it->second.first = fresh ? v : std::max(it->second.first, v);
+        } else {
+          it->second.first += v;
+        }
       }
     }
+    page_lines.assign(rs.per_page_lines().begin(), rs.per_page_lines().end());
+  } else {
+    // Page-parallel walk: every page classifies into a private group map
+    // with a reused key buffer and counts unique lines in a page-local
+    // bitmap; partials are merged into results_ in page order. Per-key
+    // combines are exact integer ops, so the split is invisible: the merged
+    // map — and after the total-order sort, the rows — match the
+    // record-at-a-time walk bit for bit.
+    struct PagePartial {
+      std::unordered_map<GroupKey, std::int64_t, KeyHash> groups;
+      /// Bit-packed variant used when the group attributes fit in 64 bits
+      /// (the common case): no vector hashing/compares per record.
+      std::unordered_map<std::uint64_t, std::int64_t> packed;
+      std::size_t processed = 0;
+      std::uint32_t lines = 0;
+    };
+    std::vector<PagePartial> partials(pages());
+    // Hoisted attribute access: (part, field) resolved once, the page
+    // reference once per page — the walk reads crossbar words directly
+    // instead of going through PimStore::read_attr per record per attr.
+    struct WalkAttr {
+      int part;
+      pim::Field f;
+    };
+    std::vector<WalkAttr> group_attrs;
+    group_attrs.reserve(q_.group_by.size());
+    std::uint32_t key_bits = 0;
+    for (const std::size_t a : q_.group_by) {
+      group_attrs.push_back({store_.part_of_attr(a), store_.field(a)});
+      key_bits += store_.field(a).width;
+    }
+    // Field values are < 2^width by construction, so concatenating them is
+    // a lossless key encoding whenever the total width fits a word.
+    const bool pack_keys = key_bits <= 64;
+    const bool want_values = q_.agg_func != sql::AggFunc::kCount;
+    const bool have_b = q_.agg_expr.kind != sql::Expr::Kind::kColumn;
+    WalkAttr attr_a{0, {}};
+    WalkAttr attr_b{0, {}};
+    if (want_values) {
+      attr_a = {store_.part_of_attr(q_.agg_expr.a), store_.field(q_.agg_expr.a)};
+      if (have_b) {
+        attr_b = {store_.part_of_attr(q_.agg_expr.b),
+                  store_.field(q_.agg_expr.b)};
+      }
+    }
+    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
+      PagePartial& part = partials[p];
+      const std::uint32_t valid = store_.page_records(p);
+      // Dense single-page read set: same line dedupe as the scalar walk,
+      // bitmap-backed (see host::ReadSet's dense variant).
+      host::ReadSet page_rs(1, rows(),
+                            static_cast<std::uint32_t>(store_.parts()) *
+                                cfg_.chunks_per_row());
+      GroupKey key(q_.group_by.size(), 0);
+      pim::Page* part_pages[2] = {&store_.page(0, p), nullptr};
+      if (store_.parts() == 2) part_pages[1] = &store_.page(1, p);
+      auto read_field = [&](const WalkAttr& wa, const pim::Page::RecordCoord& c) {
+        return part_pages[wa.part]->crossbar(c.crossbar).read_row_bits(
+            c.row, wa.f.offset, wa.f.width);
+      };
+      for (std::size_t i = bits[p].find_next(0); i < bits[p].size();
+           i = bits[p].find_next(i + 1)) {
+        if (i >= valid) break;
+        ++part.processed;
+        const pim::Page::RecordCoord c =
+            part_pages[0]->locate(static_cast<std::uint32_t>(i));
+        for (const auto& [cpart, chunk] : chunks) {
+          page_rs.touch(0, c.row,
+                        static_cast<std::uint32_t>(cpart) *
+                                cfg_.chunks_per_row() +
+                            chunk);
+        }
+        std::int64_t v = 1;
+        if (want_values) {
+          const std::uint64_t va = read_field(attr_a, c);
+          const std::uint64_t vb = have_b ? read_field(attr_b, c) : 0;
+          v = static_cast<std::int64_t>(q_.agg_expr.eval(va, vb));
+        }
+        auto combine = [&](std::int64_t& slot) {
+          if (q_.agg_func == sql::AggFunc::kMin) {
+            slot = std::min(slot, v);
+          } else if (q_.agg_func == sql::AggFunc::kMax) {
+            slot = std::max(slot, v);
+          } else {
+            slot += v;
+          }
+        };
+        if (pack_keys) {
+          std::uint64_t pk = 0;
+          std::uint32_t shift = 0;
+          for (const WalkAttr& wa : group_attrs) {
+            pk |= read_field(wa, c) << shift;
+            shift += wa.f.width;
+          }
+          const auto [it, fresh] = part.packed.try_emplace(pk, v);
+          if (!fresh) combine(it->second);
+        } else {
+          for (std::size_t a = 0; a < group_attrs.size(); ++a) {
+            key[a] = read_field(group_attrs[a], c);
+          }
+          const auto it = part.groups.find(key);
+          if (it == part.groups.end()) {
+            part.groups.emplace(key, v);  // key copied only on first sighting
+          } else {
+            combine(it->second);
+          }
+        }
+      }
+      part.lines = static_cast<std::uint32_t>(page_rs.unique_lines());
+    });
+    GroupKey unpacked(q_.group_by.size(), 0);
+    for (std::size_t p = 0; p < pages(); ++p) {
+      processed += partials[p].processed;
+      page_lines[p] = partials[p].lines;
+      auto merge = [&](const GroupKey& key, std::int64_t v) {
+        auto [it, fresh] = results_.try_emplace(
+            key, std::pair<std::int64_t, bool>{0, false});
+        if (q_.agg_func == sql::AggFunc::kMin) {
+          it->second.first = fresh ? v : std::min(it->second.first, v);
+        } else if (q_.agg_func == sql::AggFunc::kMax) {
+          it->second.first = fresh ? v : std::max(it->second.first, v);
+        } else {
+          it->second.first += v;
+        }
+      };
+      for (const auto& [pk, v] : partials[p].packed) {
+        std::uint64_t rest = pk;
+        for (std::size_t a = 0; a < group_attrs.size(); ++a) {
+          const std::uint32_t w = group_attrs[a].f.width;
+          unpacked[a] = w >= 64 ? rest : rest & ((1ULL << w) - 1);
+          rest = w >= 64 ? 0 : rest >> w;
+        }
+        merge(unpacked, v);
+      }
+      for (const auto& [key, v] : partials[p].groups) merge(key, v);
+    }
   }
-  stats_.host_lines = rs.unique_lines();
+
+  std::size_t unique_lines = 0;
+  for (const std::uint32_t n : page_lines) unique_lines += n;
+  stats_.host_lines = unique_lines;
   meter_.add(pim::EnergyCat::kRead,
-             static_cast<double>(rs.unique_lines()) * cfg_.line_bytes() * 8 *
+             static_cast<double>(unique_lines) * cfg_.line_bytes() * 8 *
                  cfg_.read_energy_pj_per_bit * units::kJoulePerPj);
   const TimeNs cpu = static_cast<double>(processed) * hcfg_.cpu_ns_per_record /
                      hcfg_.threads;
-  advance_clock(clock_ + rs.phase_time_ns(hcfg_) + cpu, slot);
+  advance_clock(clock_ + host::lines_phase_time_ns(page_lines, hcfg_) + cpu,
+                slot);
 
   if (residual_owned) alloc(0).release(residual);
 }
@@ -860,17 +1139,20 @@ void Execution::no_groupby_aggregate() {
   std::vector<std::uint16_t> owned;
   {
     pim::ProgramBuilder pb(alloc(0));
+    pim::WordProgram wp;
     bool any = false;
     for (std::size_t i = 0; i < passes_.size(); ++i) {
       if (passes_[i].mask_attr_col) {
         pass_select[i] = pb.emit_and(r_col_, *passes_[i].mask_attr_col);
+        wp.push_back(pim::WordOp::and_op(r_col_, *passes_[i].mask_attr_col,
+                                         pass_select[i]));
         owned.push_back(pass_select[i]);
         any = true;
       }
     }
     if (any) {
       const pim::MicroProgram prog = pb.take();
-      logic_phase({{0, &prog}}, slot);
+      logic_phase({{0, &prog, &wp}}, slot);
     }
   }
 
@@ -921,24 +1203,40 @@ void Execution::finalize_phase() {
 // ---------------------------------------------------------------------------
 
 QueryOutput Execution::run() {
+  // Wall-clock phase breakdown of the simulation itself (not the modeled
+  // time), printed to stderr when BBPIM_SIM_WALLPROF is set — the tool the
+  // perf work in this engine is measured with.
+  const bool wallprof = std::getenv("BBPIM_SIM_WALLPROF") != nullptr;
+  auto wall = [&](const char* name, auto&& fn) {
+    if (!wallprof) {
+      fn();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    std::fprintf(stderr, "[sim-wall] %-12s %8.3f ms\n", name,
+                 std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  };
   store_.module().reset_wear();
 
-  build_agg_passes();
-  filter_phase();
+  wall("agg_passes", [&] { build_agg_passes(); });
+  wall("filter", [&] { filter_phase(); });
 
   if (!q_.has_group_by()) {
-    no_groupby_aggregate();
+    wall("no_gb_agg", [&] { no_groupby_aggregate(); });
     stats_.total_subgroups = 1;  // Table II: Q1.x aggregate once, in PIM
     stats_.pim_subgroups = 1;
   } else {
-    sample_phase();
-    build_candidates();
-    plan_phase();
-    pim_gb_phase();
+    wall("sample", [&] { sample_phase(); });
+    wall("candidates", [&] { build_candidates(); });
+    wall("plan", [&] { plan_phase(); });
+    wall("pim_gb", [&] { pim_gb_phase(); });
     const bool pure_pim =
         candidates_complete_ && chosen_k_ == candidates_.size();
-    if (!pure_pim && !opts_.skip_host_gb) host_gb_phase();
-    finalize_phase();
+    if (!pure_pim && !opts_.skip_host_gb) wall("host_gb", [&] { host_gb_phase(); });
+    wall("finalize", [&] { finalize_phase(); });
   }
 
   // Export the planner inputs for offline Equation-3 re-evaluation.

@@ -87,6 +87,8 @@ struct QueryStats {
 struct ResultRow {
   std::vector<std::uint64_t> group;  ///< group-attribute codes
   std::int64_t agg = 0;
+
+  bool operator==(const ResultRow&) const = default;
 };
 
 struct QueryOutput {
@@ -101,6 +103,15 @@ struct ExecOptions {
   std::optional<std::size_t> force_k;
   /// Skip the host-gb phase (measurement of pure pim-gb cost).
   bool skip_host_gb = false;
+  /// Simulation worker threads for this execution; unset defers to
+  /// HostConfig::sim_threads (0 there = all hardware threads). Any value
+  /// produces bit-identical rows and stats — the knob only changes how much
+  /// wall-clock the simulation itself takes.
+  std::optional<std::uint32_t> sim_threads;
+  /// Run the scalar (pre-vectorization) simulation kernels and bypass the
+  /// compiled-filter cache: the measured baseline of bench/sim_speed and
+  /// the oracle of the kernel-equivalence tests. Same results, slower.
+  bool sim_scalar = false;
 };
 
 class PimQueryEngine {

@@ -56,6 +56,13 @@ struct HostConfig {
 
   /// Fixed cost of evaluating the latency model / choosing k for one query.
   TimeNs plan_overhead_ns = 5000.0;
+
+  /// Worker threads for the *simulator's* page-parallel execution (how fast
+  /// the simulation itself runs on this machine — NOT the modeled host
+  /// threads above, and deliberately excluded from the model-cache config
+  /// fingerprint). 0 = all hardware threads, 1 = serial. Results, modeled
+  /// times, energy, wear, and traces are bit-identical at any value.
+  std::uint32_t sim_threads = 0;
 };
 
 }  // namespace bbpim::host

@@ -1,5 +1,7 @@
 #include "pim/agg_circuit.hpp"
 
+#include <array>
+#include <bit>
 #include <stdexcept>
 
 namespace bbpim::pim {
@@ -12,7 +14,8 @@ std::uint32_t chunk_span(const Field& f, const PimConfig& cfg) {
 
 std::uint64_t compute_aggregate(const Crossbar& xb, const Field& value_field,
                                 std::uint16_t select_col, AggOp op,
-                                std::uint64_t* selected_count) {
+                                std::uint64_t* selected_count,
+                                bool vectorized) {
   if (value_field.width == 0 || value_field.width > 64) {
     throw std::invalid_argument("compute_aggregate: bad value width");
   }
@@ -20,15 +23,42 @@ std::uint64_t compute_aggregate(const Crossbar& xb, const Field& value_field,
       value_field.width >= 64 ? ~0ULL : (1ULL << value_field.width) - 1;
   std::uint64_t acc = (op == AggOp::kMin) ? value_max : 0;
   std::uint64_t count = 0;
-  for (std::uint32_t row = 0; row < xb.rows(); ++row) {
-    if (!xb.bit(row, select_col)) continue;
-    ++count;
-    const std::uint64_t v =
-        xb.read_row_bits(row, value_field.offset, value_field.width);
-    switch (op) {
-      case AggOp::kSum: acc += v; break;
-      case AggOp::kMin: acc = v < acc ? v : acc; break;
-      case AggOp::kMax: acc = v > acc ? v : acc; break;
+
+  if (vectorized) {
+    const std::uint32_t words = xb.words_per_column();
+    const std::uint64_t* select = xb.column_data(select_col);
+    std::array<const std::uint64_t*, 64> value_cols;
+    for (std::uint32_t i = 0; i < value_field.width; ++i) {
+      value_cols[i] = xb.column_data(value_field.offset + i);
+    }
+    for (std::uint32_t w = 0; w < words; ++w) {
+      std::uint64_t sel = select[w];
+      count += static_cast<std::uint64_t>(std::popcount(sel));
+      while (sel != 0) {
+        const unsigned bit = static_cast<unsigned>(std::countr_zero(sel));
+        sel &= sel - 1;
+        std::uint64_t v = 0;
+        for (std::uint32_t i = 0; i < value_field.width; ++i) {
+          v |= ((value_cols[i][w] >> bit) & 1ULL) << i;
+        }
+        switch (op) {
+          case AggOp::kSum: acc += v; break;
+          case AggOp::kMin: acc = v < acc ? v : acc; break;
+          case AggOp::kMax: acc = v > acc ? v : acc; break;
+        }
+      }
+    }
+  } else {
+    for (std::uint32_t row = 0; row < xb.rows(); ++row) {
+      if (!xb.bit(row, select_col)) continue;
+      ++count;
+      const std::uint64_t v =
+          xb.read_row_bits(row, value_field.offset, value_field.width);
+      switch (op) {
+        case AggOp::kSum: acc += v; break;
+        case AggOp::kMin: acc = v < acc ? v : acc; break;
+        case AggOp::kMax: acc = v > acc ? v : acc; break;
+      }
     }
   }
   if (selected_count != nullptr) *selected_count = count;
@@ -39,13 +69,15 @@ std::uint64_t run_agg_circuit(Crossbar& xb, const Field& value_field,
                               std::uint16_t select_col, AggOp op,
                               const Field& result_field,
                               std::uint32_t result_row, const PimConfig& cfg,
-                              AggCircuitCost* cost, const Field* count_field) {
+                              AggCircuitCost* cost, const Field* count_field,
+                              bool vectorized, std::uint64_t* out_count) {
   if (result_field.width == 0 || result_field.width > 64) {
     throw std::invalid_argument("run_agg_circuit: bad result width");
   }
   std::uint64_t count = 0;
   const std::uint64_t acc =
-      compute_aggregate(xb, value_field, select_col, op, &count);
+      compute_aggregate(xb, value_field, select_col, op, &count, vectorized);
+  if (out_count != nullptr) *out_count = count;
 
   // Result write-back through the modified write logic (counts wear).
   const std::uint64_t result_mask =

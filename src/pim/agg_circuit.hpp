@@ -24,6 +24,19 @@ namespace bbpim::pim {
 /// Aggregation operations supported by the circuit's ALU (Section IV).
 enum class AggOp : std::uint8_t { kSum, kMin, kMax };
 
+/// Folds one unsigned value into an accumulator under `op` (SUM wraps mod
+/// 2^64). Every result fold in the simulator — circuit outputs, readbacks,
+/// page partials — routes through this helper so the scalar and vectorized
+/// paths cannot diverge.
+inline std::uint64_t agg_fold(AggOp op, std::uint64_t acc, std::uint64_t v) {
+  switch (op) {
+    case AggOp::kSum: return acc + v;
+    case AggOp::kMin: return v < acc ? v : acc;
+    case AggOp::kMax: return v > acc ? v : acc;
+  }
+  return acc;
+}
+
 /// Cost of one crossbar's aggregation pass (all crossbars of a page run in
 /// parallel, each with its own circuit, so page cost equals crossbar cost).
 struct AggCircuitCost {
@@ -43,9 +56,17 @@ std::uint32_t chunk_span(const Field& f, const PimConfig& cfg);
 /// rows whose `select_col` bit is 0 are masked out; SUM/MAX over an empty
 /// selection return 0, MIN returns the field's max value. `selected_count`
 /// (optional) receives the number of selected rows.
+///
+/// `vectorized` walks the select column word-by-word and visits only set
+/// bits (whole zero words are skipped), extracting values from hoisted
+/// column-word pointers; the scalar path streams every row. Both visit
+/// selected rows in ascending order and return identical results — the
+/// modeled circuit cost (charged by run_agg_circuit) is unaffected either
+/// way, since the real ALU streams all rows regardless of the selection.
 std::uint64_t compute_aggregate(const Crossbar& xb, const Field& value_field,
                                 std::uint16_t select_col, AggOp op,
-                                std::uint64_t* selected_count);
+                                std::uint64_t* selected_count,
+                                bool vectorized = true);
 
 /// Runs the aggregation circuit on one crossbar.
 ///
@@ -53,11 +74,16 @@ std::uint64_t compute_aggregate(const Crossbar& xb, const Field& value_field,
 /// also returned. When `count_field` is non-null the circuit also writes the
 /// selected-row count there (it streams the select column anyway; the count
 /// is one extra result chunk), letting the host distinguish empty subgroups.
+/// `out_count` (optional) receives the selected-row count the circuit
+/// computed, before any count-field masking — callers folding results
+/// without a readback use it together with the returned value.
 std::uint64_t run_agg_circuit(Crossbar& xb, const Field& value_field,
                               std::uint16_t select_col, AggOp op,
                               const Field& result_field,
                               std::uint32_t result_row, const PimConfig& cfg,
                               AggCircuitCost* cost,
-                              const Field* count_field = nullptr);
+                              const Field* count_field = nullptr,
+                              bool vectorized = true,
+                              std::uint64_t* out_count = nullptr);
 
 }  // namespace bbpim::pim

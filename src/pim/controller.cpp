@@ -1,6 +1,10 @@
 #include "pim/controller.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "pim/wordeval.hpp"
 
 namespace bbpim::pim {
 namespace {
@@ -26,9 +30,25 @@ RequestTrace logic_trace_cost(const PimConfig& cfg, std::uint64_t cycles,
 }
 
 RequestTrace execute_program(Page& page, const MicroProgram& prog,
-                             const PimConfig& cfg, EnergyMeter* meter) {
-  for (std::uint32_t i = 0; i < page.crossbar_count(); ++i) {
-    page.crossbar(i).execute(prog);
+                             const PimConfig& cfg, EnergyMeter* meter,
+                             bool vectorized, const std::vector<WordOp>* words) {
+  if (vectorized && words != nullptr) {
+    // Word-level semantics; the gate program's cycles still pay the wear.
+    for (std::uint32_t i = 0; i < page.crossbar_count(); ++i) {
+      Crossbar& xb = page.crossbar(i);
+      execute_words(xb, *words);
+      xb.add_uniform_wear(prog.size());
+    }
+  } else if (vectorized) {
+    // One dead-init analysis serves all crossbars of the page.
+    const std::vector<std::uint8_t> dead = dead_init_mask(prog);
+    for (std::uint32_t i = 0; i < page.crossbar_count(); ++i) {
+      page.crossbar(i).execute_fused(prog, dead);
+    }
+  } else {
+    for (std::uint32_t i = 0; i < page.crossbar_count(); ++i) {
+      page.crossbar(i).execute(prog);
+    }
   }
   RequestTrace t =
       logic_trace_cost(cfg, prog.size(), page.crossbar_count());
@@ -41,15 +61,33 @@ RequestTrace execute_program(Page& page, const MicroProgram& prog,
 }
 
 RequestTrace execute_aggregate(Page& page, const AggRequest& req,
-                               const PimConfig& cfg, EnergyMeter* meter) {
+                               const PimConfig& cfg, EnergyMeter* meter,
+                               bool vectorized, PageAggResult* folded) {
   RequestTrace t;
   t.cls = RequestClass::kAggregate;
   EnergyJ agg_energy = 0;
   AggCircuitCost cost;
+  const std::uint64_t value_max =
+      req.value.width >= 64 ? ~0ULL : (1ULL << req.value.width) - 1;
+  const std::uint64_t result_mask =
+      req.result.width >= 64 ? ~0ULL : (1ULL << req.result.width) - 1;
+  const std::uint64_t count_mask =
+      req.count.width >= 64 ? ~0ULL : (1ULL << req.count.width) - 1;
+  if (folded != nullptr) {
+    folded->value = req.op == AggOp::kMin ? value_max : 0;
+    folded->count = 0;
+  }
   for (std::uint32_t i = 0; i < page.crossbar_count(); ++i) {
-    run_agg_circuit(page.crossbar(i), req.value, req.select_col, req.op,
-                    req.result, req.result_row, cfg, &cost,
-                    req.with_count ? &req.count : nullptr);
+    std::uint64_t count = 0;
+    const std::uint64_t acc = run_agg_circuit(
+        page.crossbar(i), req.value, req.select_col, req.op, req.result,
+        req.result_row, cfg, &cost, req.with_count ? &req.count : nullptr,
+        vectorized, folded != nullptr ? &count : nullptr);
+    if (folded != nullptr) {
+      // Masked exactly as the written result field reads back.
+      folded->value = agg_fold(req.op, folded->value, acc & result_mask);
+      if (req.with_count) folded->count += count & count_mask;
+    }
     agg_energy += cost.energy_j;
   }
   // All circuits run in parallel; page duration is one crossbar's duration.
@@ -66,16 +104,29 @@ RequestTrace execute_aggregate(Page& page, const AggRequest& req,
 
 RequestTrace read_bit_column(Page& page, std::uint16_t col, TimeNs line_ns,
                              const PimConfig& cfg, EnergyMeter* meter,
-                             BitVec* out) {
+                             BitVec* out, bool vectorized) {
   const std::uint32_t rows = page.crossbar(0).rows();
   const std::uint32_t reads_per_xbar = (rows + cfg.read_bits - 1) / cfg.read_bits;
 
   if (out != nullptr) {
     *out = BitVec(page.records());
-    for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
-      const BitVec colbits = page.crossbar(x).column(col);
-      for (std::uint32_t r = 0; r < rows; ++r) {
-        if (colbits.get(r)) out->set(static_cast<std::size_t>(x) * rows + r, true);
+    if (vectorized) {
+      // Record order is crossbar-major and rows are a multiple of 64, so
+      // crossbar x's column occupies a word-aligned slice of the output.
+      const std::uint32_t words = page.crossbar(0).words_per_column();
+      std::uint64_t* dst = out->words().data();
+      for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+        const std::uint64_t* src = page.crossbar(x).column_data(col);
+        std::copy(src, src + words, dst + static_cast<std::size_t>(x) * words);
+      }
+    } else {
+      for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+        const BitVec colbits = page.crossbar(x).column(col);
+        for (std::uint32_t r = 0; r < rows; ++r) {
+          if (colbits.get(r)) {
+            out->set(static_cast<std::size_t>(x) * rows + r, true);
+          }
+        }
       }
     }
   }
@@ -103,15 +154,25 @@ RequestTrace read_bit_column(Page& page, std::uint16_t col, TimeNs line_ns,
 
 RequestTrace write_bit_column(Page& page, std::uint16_t col,
                               const BitVec& bits, TimeNs line_ns,
-                              const PimConfig& cfg, EnergyMeter* meter) {
+                              const PimConfig& cfg, EnergyMeter* meter,
+                              bool vectorized) {
   const std::uint32_t rows = page.crossbar(0).rows();
   if (bits.size() != page.records()) {
     throw std::invalid_argument("write_bit_column: size mismatch");
   }
   for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
     BitVec colbits(rows);
-    for (std::uint32_t r = 0; r < rows; ++r) {
-      if (bits.get(static_cast<std::size_t>(x) * rows + r)) colbits.set(r, true);
+    if (vectorized) {
+      const std::uint32_t words = page.crossbar(0).words_per_column();
+      const std::uint64_t* src =
+          bits.words().data() + static_cast<std::size_t>(x) * words;
+      std::copy(src, src + words, colbits.words().begin());
+    } else {
+      for (std::uint32_t r = 0; r < rows; ++r) {
+        if (bits.get(static_cast<std::size_t>(x) * rows + r)) {
+          colbits.set(r, true);
+        }
+      }
     }
     page.crossbar(x).write_column(col, colbits);
   }

@@ -64,25 +64,52 @@ struct AggRequest {
 RequestTrace logic_trace_cost(const PimConfig& cfg, std::uint64_t cycles,
                               std::uint32_t crossbars);
 
+// The `vectorized` flags below select between the fast simulation kernels
+// (fused interpreter with dead-init elision, word-level column packing,
+// select-word-skipping aggregation) and the original scalar loops. Both
+// produce bit-identical functional results and identical cost traces; the
+// scalar path exists as the measured baseline of bench/sim_speed and as the
+// oracle the kernel-equivalence tests compare against.
+
+struct WordOp;  // pim/wordeval.hpp
+
 /// Executes a micro-program on every crossbar of the page (bulk logic).
+/// When `words` (the program's semantic twin, see pim/wordeval.hpp) is
+/// given and the vectorized kernels are on, the functional effect is
+/// computed word-level while the cost trace still charges the gate
+/// program's cycles.
 RequestTrace execute_program(Page& page, const MicroProgram& prog,
-                             const PimConfig& cfg, EnergyMeter* meter);
+                             const PimConfig& cfg, EnergyMeter* meter,
+                             bool vectorized = true,
+                             const std::vector<WordOp>* words = nullptr);
+
+/// Folded functional outcome of one page's aggregation request: crossbar
+/// results combined with the request's op (masked exactly as the written
+/// result fields would read back) and counts summed. Lets the vectorized
+/// engine skip re-reading the per-crossbar result fields.
+struct PageAggResult {
+  std::uint64_t value = 0;
+  std::uint64_t count = 0;
+};
 
 /// Runs the aggregation circuits of all crossbars of the page in parallel.
 RequestTrace execute_aggregate(Page& page, const AggRequest& req,
-                               const PimConfig& cfg, EnergyMeter* meter);
+                               const PimConfig& cfg, EnergyMeter* meter,
+                               bool vectorized = true,
+                               PageAggResult* folded = nullptr);
 
 /// Streams one bit column of every crossbar to the host, packed
 /// (CONCEPT-style column reads). Record order: crossbar-major, then row.
 /// `line_ns` is the host-side cost of transferring one 64 B line.
 RequestTrace read_bit_column(Page& page, std::uint16_t col, TimeNs line_ns,
                              const PimConfig& cfg, EnergyMeter* meter,
-                             BitVec* out);
+                             BitVec* out, bool vectorized = true);
 
 /// Writes a packed bit vector into one bit column of every crossbar
 /// (used for two-xb intermediate-result transfer and bulk loads).
 RequestTrace write_bit_column(Page& page, std::uint16_t col,
                               const BitVec& bits, TimeNs line_ns,
-                              const PimConfig& cfg, EnergyMeter* meter);
+                              const PimConfig& cfg, EnergyMeter* meter,
+                              bool vectorized = true);
 
 }  // namespace bbpim::pim

@@ -1,6 +1,7 @@
 #include "pim/crossbar.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <stdexcept>
 
@@ -50,6 +51,41 @@ void Crossbar::execute(const MicroProgram& prog) {
   for (const MicroOp& op : prog) execute(op);
 }
 
+void Crossbar::execute_fused(const MicroProgram& prog,
+                             std::span<const std::uint8_t> skip_init) {
+  assert(skip_init.empty() || skip_init.size() == prog.size());
+  const std::uint32_t words = words_per_col_;
+  for (std::size_t i = 0; i < prog.size(); ++i) {
+    if (!skip_init.empty() && skip_init[i]) continue;
+    const MicroOp& op = prog[i];
+    assert(op.out < cols_);
+    std::uint64_t* out = column_words(op.out);
+    switch (op.kind) {
+      case MicroOpKind::kInit0:
+        std::fill(out, out + words, 0ULL);
+        break;
+      case MicroOpKind::kInit1:
+        std::fill(out, out + words, ~0ULL);
+        break;
+      case MicroOpKind::kNot: {
+        assert(op.a < cols_);
+        const std::uint64_t* a = column_words(op.a);
+        for (std::uint32_t w = 0; w < words; ++w) out[w] = ~a[w];
+        break;
+      }
+      case MicroOpKind::kNor: {
+        assert(op.a < cols_ && op.b < cols_);
+        const std::uint64_t* a = column_words(op.a);
+        const std::uint64_t* b = column_words(op.b);
+        for (std::uint32_t w = 0; w < words; ++w) out[w] = ~(a[w] | b[w]);
+        break;
+      }
+    }
+  }
+  // Skipped inits are still executed cycles: same wear as the per-op path.
+  uniform_row_writes_ += prog.size();
+}
+
 std::uint64_t Crossbar::read_row_bits(std::uint32_t row, std::uint32_t offset,
                                       std::uint32_t width) const {
   if (width == 0 || width > 64 || offset + width > cols_ || row >= rows_) {
@@ -57,10 +93,10 @@ std::uint64_t Crossbar::read_row_bits(std::uint32_t row, std::uint32_t offset,
   }
   const std::uint32_t word = row / kWordBits;
   const std::uint32_t bit = row % kWordBits;
+  const std::uint64_t* col = column_words(offset) + word;
   std::uint64_t v = 0;
-  for (std::uint32_t i = 0; i < width; ++i) {
-    const std::uint64_t* col = column_words(offset + i);
-    v |= ((col[word] >> bit) & 1ULL) << i;
+  for (std::uint32_t i = 0; i < width; ++i, col += words_per_col_) {
+    v |= ((*col >> bit) & 1ULL) << i;
   }
   return v;
 }
@@ -72,16 +108,18 @@ void Crossbar::write_row_bits(std::uint32_t row, std::uint32_t offset,
   }
   const std::uint32_t word = row / kWordBits;
   const std::uint32_t bit = row % kWordBits;
-  for (std::uint32_t i = 0; i < width; ++i) {
-    std::uint64_t* col = column_words(offset + i);
-    const std::uint64_t mask = 1ULL << bit;
+  const std::uint64_t mask = 1ULL << bit;
+  std::uint64_t* col = column_words(offset) + word;
+  for (std::uint32_t i = 0; i < width; ++i, col += words_per_col_) {
     if ((value >> i) & 1ULL)
-      col[word] |= mask;
+      *col |= mask;
     else
-      col[word] &= ~mask;
+      *col &= ~mask;
   }
   if (extra_row_writes_.empty()) extra_row_writes_.resize(rows_, 0);
   extra_row_writes_[row] += width;
+  max_extra_row_writes_ =
+      std::max<std::uint64_t>(max_extra_row_writes_, extra_row_writes_[row]);
 }
 
 BitVec Crossbar::column(std::uint32_t col) const {
@@ -90,6 +128,16 @@ BitVec Crossbar::column(std::uint32_t col) const {
   const std::uint64_t* src = column_words(col);
   std::copy(src, src + words_per_col_, bv.words().begin());
   return bv;
+}
+
+std::size_t Crossbar::column_popcount(std::uint32_t col) const {
+  if (col >= cols_) throw std::out_of_range("Crossbar::column_popcount");
+  const std::uint64_t* src = column_words(col);
+  std::size_t n = 0;
+  for (std::uint32_t w = 0; w < words_per_col_; ++w) {
+    n += static_cast<std::size_t>(std::popcount(src[w]));
+  }
+  return n;
 }
 
 void Crossbar::write_column(std::uint32_t col, const BitVec& bits) {
@@ -117,13 +165,9 @@ void Crossbar::set_bit(std::uint32_t row, std::uint32_t col, bool v) {
     *w &= ~mask;
 }
 
-std::uint64_t Crossbar::max_extra_row_writes() const {
-  if (extra_row_writes_.empty()) return 0;
-  return *std::max_element(extra_row_writes_.begin(), extra_row_writes_.end());
-}
-
 void Crossbar::reset_wear() {
   uniform_row_writes_ = 0;
+  max_extra_row_writes_ = 0;
   extra_row_writes_.clear();
 }
 

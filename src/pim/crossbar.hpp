@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "common/bitvec.hpp"
@@ -30,6 +32,16 @@ class Crossbar {
   /// Executes a whole program.
   void execute(const MicroProgram& prog);
 
+  /// Fused program interpreter: per-op dispatch is hoisted out of the word
+  /// loop and ops marked in `skip_init` (dead output-column initializations,
+  /// see pim::dead_init_mask) skip their functional write — a MAGIC gate
+  /// drives every cell of its output column, so an INIT that is overwritten
+  /// before any read has no observable effect. Wear accounting is identical
+  /// to execute(): every op, skipped or not, is one write cycle per row.
+  /// `skip_init` must be empty or sized to the program.
+  void execute_fused(const MicroProgram& prog,
+                     std::span<const std::uint8_t> skip_init);
+
   /// Reads `width` bits (<= 64) of one row starting at bit `offset`.
   std::uint64_t read_row_bits(std::uint32_t row, std::uint32_t offset,
                               std::uint32_t width) const;
@@ -40,6 +52,28 @@ class Crossbar {
 
   /// Snapshot of a full column as a BitVec of `rows()` bits.
   BitVec column(std::uint32_t col) const;
+
+  /// Number of set bits in a column, computed on the packed words directly
+  /// (no BitVec materialization).
+  std::size_t column_popcount(std::uint32_t col) const;
+
+  /// Read-only view of a column's packed words (words_per_column() of them;
+  /// rows are a multiple of 64, so there are no tail bits). Used by the
+  /// word-level column transfer and aggregation kernels. Inline: these sit
+  /// in the innermost simulation loops.
+  const std::uint64_t* column_data(std::uint32_t col) const {
+    if (col >= cols_) throw std::out_of_range("Crossbar::column_data");
+    return column_words(col);
+  }
+  std::uint32_t words_per_column() const { return words_per_col_; }
+
+  /// Mutable word view of a column — the word-level evaluator's write path
+  /// (pim/wordeval). Deliberately records no wear: the caller charges the
+  /// equivalent gate program's cycles via add_uniform_wear.
+  std::uint64_t* column_data_mut(std::uint32_t col) {
+    if (col >= cols_) throw std::out_of_range("Crossbar::column_data_mut");
+    return column_words(col);
+  }
 
   /// Overwrites a full column (used by the CONCEPT-style packed column write
   /// path when the host pushes a bit-vector into the PIM module). Counts one
@@ -54,7 +88,10 @@ class Crossbar {
   /// Writes applied uniformly to every row (one per executed micro-op).
   std::uint64_t uniform_row_writes() const { return uniform_row_writes_; }
   /// Largest per-row extra write count (row writes from host/agg results).
-  std::uint64_t max_extra_row_writes() const;
+  /// O(1): per-row counts only grow, so a running maximum maintained at
+  /// write time equals the scan — wear is read once per query, but written
+  /// per crossbar per aggregation pass.
+  std::uint64_t max_extra_row_writes() const { return max_extra_row_writes_; }
   /// Worst-case writes experienced by any single row of this crossbar.
   std::uint64_t max_row_writes() const {
     return uniform_row_writes_ + max_extra_row_writes();
@@ -84,6 +121,7 @@ class Crossbar {
   std::vector<std::uint64_t> words_;  // column-major
 
   std::uint64_t uniform_row_writes_ = 0;
+  std::uint64_t max_extra_row_writes_ = 0;
   std::vector<std::uint32_t> extra_row_writes_;  // lazily sized to rows_
 };
 

@@ -1,5 +1,6 @@
 #include "pim/microcode.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -32,6 +33,54 @@ void ColumnAlloc::release(std::uint16_t col) {
     throw std::logic_error("ColumnAlloc::release: double release");
   }
   in_use_[col - begin_] = false;
+}
+
+void ColumnAlloc::acquire(std::uint16_t col) {
+  if (col < begin_ || col >= end_) {
+    throw std::out_of_range("ColumnAlloc::acquire: not a scratch column");
+  }
+  if (in_use_[col - begin_]) {
+    throw std::logic_error("ColumnAlloc::acquire: column already in use");
+  }
+  in_use_[col - begin_] = true;
+}
+
+std::string ColumnAlloc::state_key() const {
+  std::string key;
+  key.reserve(16 + in_use_.size() / 4);
+  key += std::to_string(begin_);
+  key += ':';
+  key += std::to_string(end_);
+  key += ':';
+  std::uint8_t nibble = 0;
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    nibble = static_cast<std::uint8_t>((nibble << 1) | (in_use_[i] ? 1 : 0));
+    if ((i & 3) == 3 || i + 1 == in_use_.size()) {
+      key += "0123456789abcdef"[nibble];
+      nibble = 0;
+    }
+  }
+  return key;
+}
+
+std::uint64_t ColumnAlloc::state_fingerprint() const {
+  std::uint64_t hash = 14695981039346656037ULL;
+  auto mix = [&hash](std::uint64_t v) {
+    hash ^= v;
+    hash *= 1099511628211ULL;
+  };
+  mix(begin_);
+  mix(end_);
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < in_use_.size(); ++i) {
+    word = (word << 1) | static_cast<std::uint64_t>(in_use_[i]);
+    if ((i & 63) == 63) {
+      mix(word);
+      word = 0;
+    }
+  }
+  mix(word);
+  return hash;
 }
 
 Field ColumnAlloc::alloc_field(std::uint16_t width) {
@@ -76,6 +125,38 @@ void ColumnAlloc::release_field(const Field& f) {
   for (std::uint16_t i = 0; i < f.width; ++i) {
     release(static_cast<std::uint16_t>(f.offset + i));
   }
+}
+
+std::vector<std::uint8_t> dead_init_mask(const MicroProgram& prog) {
+  std::vector<std::uint8_t> dead(prog.size(), 0);
+  if (prog.empty()) return dead;
+  std::uint16_t max_col = 0;
+  for (const MicroOp& op : prog) {
+    max_col = std::max({max_col, op.a, op.b, op.out});
+  }
+
+  // Backward sweep: next_access[c] is the first access to column c after the
+  // current scan point (0 = none, 1 = read, 2 = write). An init is dead iff
+  // that first access is a write; "none" keeps it alive — the column may be
+  // the program's result, read by the host afterwards.
+  enum : std::uint8_t { kNone = 0, kRead = 1, kWrite = 2 };
+  std::vector<std::uint8_t> next_access(max_col + 1, kNone);
+  for (std::size_t i = prog.size(); i-- > 0;) {
+    const MicroOp& op = prog[i];
+    if (op.kind == MicroOpKind::kInit0 || op.kind == MicroOpKind::kInit1) {
+      dead[i] = next_access[op.out] == kWrite;
+    }
+    // Within one op the inputs are read before the output is driven, so a
+    // column that is both input and output counts as read-first.
+    next_access[op.out] = kWrite;
+    if (op.kind == MicroOpKind::kNot) {
+      next_access[op.a] = kRead;
+    } else if (op.kind == MicroOpKind::kNor) {
+      next_access[op.a] = kRead;
+      next_access[op.b] = kRead;
+    }
+  }
+  return dead;
 }
 
 std::size_t ColumnAlloc::available() const {

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "pim/microop.hpp"
@@ -23,6 +24,15 @@ struct Field {
   std::uint16_t width = 0;
 };
 
+/// Marks kInit0/kInit1 ops whose output column is overwritten by a later op
+/// of the same program before any op reads it. A MAGIC gate drives every
+/// cell of its output column, so such initializations have no observable
+/// functional effect — the fused interpreter skips their word loop while
+/// the cost model still charges the cycle (time, energy, wear). In the
+/// INIT+gate idiom every builder emits, roughly half of a program's ops
+/// qualify. Computed in one backward pass; mask[i] == 1 means skippable.
+std::vector<std::uint8_t> dead_init_mask(const MicroProgram& prog);
+
 /// Free-list allocator over the scratch column region of a row layout.
 class ColumnAlloc {
  public:
@@ -33,6 +43,22 @@ class ColumnAlloc {
   std::uint16_t alloc();
   /// Returns a column to the pool.
   void release(std::uint16_t col);
+
+  /// Marks a specific column in use — replaying a cached compilation's
+  /// allocator effect (the result column a memoized filter program left
+  /// allocated). Throws std::logic_error when the column is already taken.
+  void acquire(std::uint16_t col);
+
+  /// Digest of the current in-use set (and region bounds). Allocation is a
+  /// pure function of this state, so two allocators with equal state hand
+  /// out identical columns for identical request sequences.
+  std::uint64_t state_fingerprint() const;
+
+  /// Verbatim (collision-free) encoding of the same state — bounds plus the
+  /// in-use bitmap in hex. What the compiled-filter cache keys on: a hash
+  /// collision there would replay a program compiled for a different
+  /// allocator state.
+  std::string state_key() const;
 
   /// Allocates `width` columns (not necessarily contiguous is NOT acceptable
   /// for fields read by the aggregation circuit, so this returns a contiguous

@@ -25,10 +25,21 @@ enum class EnergyCat : std::size_t {
 };
 
 /// Accumulates module energy by category.
+///
+/// A journaling meter (EnergyMeter(true)) additionally records every add()
+/// in order so a parallel simulation worker's private accumulation can be
+/// replayed into a shared meter afterwards. Replaying per-chunk journals in
+/// chunk order reproduces the serial run's exact floating-point add
+/// sequence, which is what keeps parallel energy totals bit-identical to
+/// serial ones (category-wise merging would reassociate the sums).
 class EnergyMeter {
  public:
+  EnergyMeter() = default;
+  explicit EnergyMeter(bool journal) : journal_(journal) {}
+
   void add(EnergyCat cat, EnergyJ joules) {
     by_cat_[static_cast<std::size_t>(cat)] += joules;
+    if (journal_) log_.push_back({cat, joules});
   }
   EnergyJ total() const {
     EnergyJ t = 0;
@@ -38,10 +49,24 @@ class EnergyMeter {
   EnergyJ of(EnergyCat cat) const {
     return by_cat_[static_cast<std::size_t>(cat)];
   }
-  void reset() { by_cat_.fill(0.0); }
+  void reset() {
+    by_cat_.fill(0.0);
+    log_.clear();
+  }
+
+  /// Re-applies this journaling meter's adds, in order, onto `dst`.
+  void replay_into(EnergyMeter& dst) const {
+    for (const Entry& e : log_) dst.add(e.cat, e.joules);
+  }
 
  private:
+  struct Entry {
+    EnergyCat cat;
+    EnergyJ joules;
+  };
   std::array<EnergyJ, static_cast<std::size_t>(EnergyCat::kCount)> by_cat_{};
+  bool journal_ = false;
+  std::vector<Entry> log_;
 };
 
 /// Sweep-line peak power over recorded activity intervals.

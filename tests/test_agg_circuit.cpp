@@ -97,6 +97,25 @@ TEST_F(AggCircuitTest, CostModelCountsReads) {
   EXPECT_GT(cost2.result_writes, cost.result_writes);
 }
 
+TEST_F(AggCircuitTest, VectorizedAggregateMatchesScalar) {
+  // The word-skipping kernel must agree with the row-streaming oracle on
+  // value, count, and empty-selection sentinels, across ops and densities.
+  Rng rng(42);
+  for (const double ratio : {0.0, 0.02, 0.5, 1.0}) {
+    populate(ratio, rng);
+    for (const AggOp op : {AggOp::kSum, AggOp::kMin, AggOp::kMax}) {
+      std::uint64_t scalar_count = 0, vector_count = 0;
+      const std::uint64_t scalar = compute_aggregate(
+          xb_, value_, select_, op, &scalar_count, /*vectorized=*/false);
+      const std::uint64_t vectorized = compute_aggregate(
+          xb_, value_, select_, op, &vector_count, /*vectorized=*/true);
+      EXPECT_EQ(vectorized, scalar)
+          << "ratio " << ratio << " op " << static_cast<int>(op);
+      EXPECT_EQ(vector_count, scalar_count);
+    }
+  }
+}
+
 TEST(ChunkSpan, HonestForMisalignedFields) {
   PimConfig cfg;
   EXPECT_EQ(chunk_span(Field{0, 16}, cfg), 1u);

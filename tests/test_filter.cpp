@@ -101,6 +101,122 @@ TEST(FilterCompiler, PerPartCompilationSkipsForeignAttrs) {
   }
 }
 
+TEST(FilterCompiler, WordProgramMatchesGateProgram) {
+  // The word-level semantic twin must reproduce the gate program's result
+  // column bit for bit, across every predicate kind and edge case.
+  EngineFixture fx(EngineKind::kOneXb, 500, 29);
+  const std::vector<std::string> wheres = {
+      "f_key = 100",
+      "f_key < 2000",
+      "f_key <= 2000 AND f_gid >= 2",
+      "f_gid > 3",
+      "f_key BETWEEN 100 AND 3000",
+      "f_gid IN (1, 3, 5)",
+      "f_key = 999999",  // out of range -> never
+      "f_key >= 0",      // always true on the domain
+      "f_val2 < 50 AND d_tag = 2 AND f_gid BETWEEN 0 AND 9",
+  };
+  for (const std::string& where : wheres) {
+    const sql::BoundQuery q =
+        fx.bind_sql("SELECT SUM(f_val) FROM t WHERE " + where);
+    pim::ColumnAlloc alloc = fx.store->layout(0).make_alloc();
+    const CompiledFilter f = compile_filter(q.filters, fx.store->layout(0), alloc);
+    for (std::uint32_t x = 0; x < 2; ++x) {
+      pim::Crossbar gate = fx.store->page(0, 0).crossbar(x);
+      pim::Crossbar word = gate;
+      gate.execute(f.program);
+      pim::execute_words(word, f.words);
+      EXPECT_EQ(word.column(f.result_col), gate.column(f.result_col))
+          << "WHERE " << where << " crossbar " << x;
+    }
+  }
+
+  // Group matches too (the pim-gb hot path).
+  pim::ColumnAlloc alloc = fx.store->layout(0).make_alloc();
+  const CompiledFilter m = compile_group_match(
+      {1, 4}, {2, 2}, fx.store->layout(0), alloc);
+  pim::Crossbar gate = fx.store->page(0, 0).crossbar(0);
+  pim::Crossbar word = gate;
+  gate.execute(m.program);
+  pim::execute_words(word, m.words);
+  EXPECT_EQ(word.column(m.result_col), gate.column(m.result_col));
+}
+
+TEST(FilterCompiler, NeverPredicateOnForeignPartAttr) {
+  // A statically-false predicate is compiled on every part (each part's
+  // result column must be false), including parts that do not hold the
+  // predicate's attribute — the field lookup must not be consulted.
+  EngineFixture fx(EngineKind::kTwoXb, 300, 27);
+  const sql::BoundQuery q = fx.bind_sql(
+      "SELECT SUM(f_val) FROM t WHERE d_tag BETWEEN 5 AND 2");  // lo > hi
+  const engine::QueryOutput out = fx.engine->execute(q);
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_EQ(out.rows[0].agg, 0);
+  EXPECT_EQ(out.stats.selected_records, 0u);
+}
+
+TEST(FilterCache, HitReplaysAllocatorEffectAndSkipsRecompile) {
+  EngineFixture fx(EngineKind::kOneXb, 300, 23);
+  const sql::BoundQuery q =
+      fx.bind_sql("SELECT SUM(f_val) FROM t WHERE f_key < 1500 AND f_gid = 2");
+  FilterCache cache;
+
+  pim::ColumnAlloc a1 = fx.store->layout(0).make_alloc();
+  const auto first = cache.get_or_compile(q.filters, 0, fx.store->layout(0), a1);
+  EXPECT_EQ(cache.miss_count(), 1u);
+  EXPECT_EQ(cache.hit_count(), 0u);
+
+  // Same predicates against an identically fresh allocator: a hit that
+  // leaves the allocator in the exact state a recompilation would have.
+  pim::ColumnAlloc a2 = fx.store->layout(0).make_alloc();
+  const auto second =
+      cache.get_or_compile(q.filters, 0, fx.store->layout(0), a2);
+  EXPECT_EQ(cache.hit_count(), 1u);
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(a2.available(), a1.available());
+  EXPECT_EQ(a2.state_fingerprint(), a1.state_fingerprint());
+  // The result column is owned: releasing it restores a fresh allocator.
+  a2.release(second->result_col);
+  EXPECT_EQ(a2.state_fingerprint(),
+            fx.store->layout(0).make_alloc().state_fingerprint());
+
+  // A different allocator state (column taken up front) is a different key —
+  // the cached program's scratch columns would be unsafe to replay there.
+  pim::ColumnAlloc a3 = fx.store->layout(0).make_alloc();
+  a3.alloc();
+  const auto third = cache.get_or_compile(q.filters, 0, fx.store->layout(0), a3);
+  EXPECT_EQ(cache.miss_count(), 2u);
+
+  // Different predicates miss too.
+  const sql::BoundQuery q2 =
+      fx.bind_sql("SELECT SUM(f_val) FROM t WHERE f_key < 1501 AND f_gid = 2");
+  pim::ColumnAlloc a4 = fx.store->layout(0).make_alloc();
+  cache.get_or_compile(q2.filters, 0, fx.store->layout(0), a4);
+  EXPECT_EQ(cache.miss_count(), 3u);
+
+  // Cached and recompiled programs select identical records.
+  const std::vector<bool> got = run_filter(*fx.store, 0, *second);
+  for (std::size_t r = 0; r < fx.table->row_count(); ++r) {
+    ASSERT_EQ(got[r], scalar_matches(*fx.table, r, q.filters));
+  }
+}
+
+TEST(ColumnAlloc, AcquireMarksSpecificColumn) {
+  pim::ColumnAlloc alloc(10, 20);
+  alloc.acquire(14);
+  EXPECT_THROW(alloc.acquire(14), std::logic_error);
+  EXPECT_THROW(alloc.acquire(9), std::out_of_range);
+  EXPECT_THROW(alloc.acquire(20), std::out_of_range);
+  // First-fit allocation steps around the acquired column.
+  for (std::uint16_t c = 10; c < 20; ++c) {
+    if (c == 14) continue;
+    EXPECT_EQ(alloc.alloc(), c);
+  }
+  EXPECT_THROW(alloc.alloc(), std::runtime_error);
+  alloc.release(14);
+  EXPECT_EQ(alloc.alloc(), 14);
+}
+
 TEST(GroupMatch, EqualityOnKeyMatchesScalar) {
   EngineFixture fx(EngineKind::kOneXb, 300, 25);
   pim::ColumnAlloc alloc = fx.store->layout(0).make_alloc();

@@ -1,0 +1,146 @@
+// Parallel-vs-serial determinism of the simulation core.
+//
+// The page-parallel substrate promises that the simulation thread budget is
+// invisible in every observable output: result rows, modeled phase times,
+// energy by category (bit-identical doubles — per-chunk journaling meters
+// replayed in page order), peak power, wear, and request counts. The same
+// promise covers the vectorized kernels against the scalar baseline. These
+// tests pin that contract for all three engine kinds.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine_test_util.hpp"
+
+namespace bbpim::engine {
+namespace {
+
+using testutil::EngineFixture;
+
+struct Workload {
+  std::string sql;
+  std::optional<std::size_t> force_k;  ///< planner bypass: no fitted models
+};
+
+std::vector<Workload> workloads() {
+  return {
+      {"SELECT SUM(f_val) FROM t WHERE f_key < 2400", std::nullopt},
+      {"SELECT COUNT(*) FROM t WHERE f_gid BETWEEN 1 AND 4 AND d_tag = 2",
+       std::nullopt},
+      {"SELECT SUM(f_val - f_val2) FROM t WHERE f_key >= 100", std::nullopt},
+      {"SELECT f_gid, SUM(f_val) FROM t WHERE f_key < 3000 "
+       "GROUP BY f_gid ORDER BY f_gid",
+       2},
+      {"SELECT f_gid, MIN(f_val) FROM t WHERE d_tag <= 4 "
+       "GROUP BY f_gid ORDER BY f_gid",
+       3},
+      {"SELECT f_gid, SUM(f_val * f_val2) AS rev FROM t WHERE f_key < 2800 "
+       "GROUP BY f_gid ORDER BY rev DESC",
+       2},
+  };
+}
+
+/// Byte-exact equality over every QueryStats field. Doubles are compared
+/// with ==: the determinism guarantee is bit-identity, not tolerance.
+void expect_identical(const QueryOutput& got, const QueryOutput& want,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  ASSERT_EQ(got.rows.size(), want.rows.size());
+  for (std::size_t i = 0; i < got.rows.size(); ++i) {
+    EXPECT_EQ(got.rows[i].group, want.rows[i].group) << "row " << i;
+    EXPECT_EQ(got.rows[i].agg, want.rows[i].agg) << "row " << i;
+  }
+  const QueryStats& a = got.stats;
+  const QueryStats& b = want.stats;
+  EXPECT_EQ(a.total_ns, b.total_ns);
+  EXPECT_EQ(a.phases.filter, b.phases.filter);
+  EXPECT_EQ(a.phases.transfer, b.phases.transfer);
+  EXPECT_EQ(a.phases.sample, b.phases.sample);
+  EXPECT_EQ(a.phases.plan, b.phases.plan);
+  EXPECT_EQ(a.phases.pim_gb, b.phases.pim_gb);
+  EXPECT_EQ(a.phases.host_gb, b.phases.host_gb);
+  EXPECT_EQ(a.phases.finalize, b.phases.finalize);
+  EXPECT_EQ(a.energy_j, b.energy_j);
+  EXPECT_EQ(a.energy_logic_j, b.energy_logic_j);
+  EXPECT_EQ(a.energy_read_j, b.energy_read_j);
+  EXPECT_EQ(a.energy_write_j, b.energy_write_j);
+  EXPECT_EQ(a.energy_controller_j, b.energy_controller_j);
+  EXPECT_EQ(a.energy_agg_circuit_j, b.energy_agg_circuit_j);
+  EXPECT_EQ(a.peak_chip_w, b.peak_chip_w);
+  EXPECT_EQ(a.wear_row_writes, b.wear_row_writes);
+  EXPECT_EQ(a.selectivity, b.selectivity);
+  EXPECT_EQ(a.selected_records, b.selected_records);
+  EXPECT_EQ(a.total_subgroups, b.total_subgroups);
+  EXPECT_EQ(a.sampled_subgroups, b.sampled_subgroups);
+  EXPECT_EQ(a.pim_subgroups, b.pim_subgroups);
+  EXPECT_EQ(a.host_lines, b.host_lines);
+  EXPECT_EQ(a.pim_requests, b.pim_requests);
+  EXPECT_EQ(a.n_chunks, b.n_chunks);
+  EXPECT_EQ(a.s_chunks, b.s_chunks);
+  EXPECT_EQ(a.selectivity_estimate, b.selectivity_estimate);
+  EXPECT_EQ(a.candidates_complete, b.candidates_complete);
+  EXPECT_EQ(a.candidate_masses, b.candidate_masses);
+}
+
+void check_kind(EngineKind kind) {
+  EngineFixture fx(kind, 900, 31);
+  for (const Workload& w : workloads()) {
+    const sql::BoundQuery q = fx.bind_sql(w.sql);
+
+    ExecOptions serial;
+    serial.force_k = w.force_k;
+    serial.sim_threads = 1;
+    const QueryOutput reference = fx.engine->execute(q, serial);
+
+    for (const std::uint32_t threads : {2u, 8u}) {
+      ExecOptions opts = serial;
+      opts.sim_threads = threads;
+      expect_identical(fx.engine->execute(q, opts), reference,
+                       w.sql + " @ " + std::to_string(threads) + " threads");
+    }
+
+    // The scalar kernel baseline (also serial) must be indistinguishable.
+    ExecOptions scalar = serial;
+    scalar.sim_scalar = true;
+    expect_identical(fx.engine->execute(q, scalar), reference,
+                     w.sql + " @ scalar kernels");
+
+    // And scalar kernels under parallelism, for completeness.
+    ExecOptions scalar_mt = scalar;
+    scalar_mt.sim_threads = 8;
+    expect_identical(fx.engine->execute(q, scalar_mt), reference,
+                     w.sql + " @ scalar kernels, 8 threads");
+  }
+}
+
+TEST(SimDeterminism, OneXb) { check_kind(EngineKind::kOneXb); }
+TEST(SimDeterminism, TwoXb) { check_kind(EngineKind::kTwoXb); }
+TEST(SimDeterminism, Pimdb) { check_kind(EngineKind::kPimdb); }
+
+/// The knob also threads through HostConfig (the facade path).
+TEST(SimDeterminism, HostConfigDefaultMatchesExplicit) {
+  testutil::EngineFixture serial_fx(EngineKind::kOneXb, 600, 7);
+  serial_fx.hcfg.sim_threads = 1;
+  engine::PimQueryEngine serial_engine(EngineKind::kOneXb, *serial_fx.store,
+                                       serial_fx.hcfg);
+
+  testutil::EngineFixture parallel_fx(EngineKind::kOneXb, 600, 7);
+  parallel_fx.hcfg.sim_threads = 8;
+  engine::PimQueryEngine parallel_engine(EngineKind::kOneXb, *parallel_fx.store,
+                                         parallel_fx.hcfg);
+
+  const std::string sql =
+      "SELECT f_gid, SUM(f_val) FROM t WHERE f_key < 2000 "
+      "GROUP BY f_gid ORDER BY f_gid";
+  ExecOptions opts;
+  opts.force_k = 2;
+  const sql::BoundQuery qa = serial_fx.bind_sql(sql);
+  const sql::BoundQuery qb = parallel_fx.bind_sql(sql);
+  expect_identical(parallel_engine.execute(qb, opts),
+                   serial_engine.execute(qa, opts),
+                   "HostConfig::sim_threads 8 vs 1");
+}
+
+}  // namespace
+}  // namespace bbpim::engine
