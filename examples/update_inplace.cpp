@@ -2,18 +2,18 @@
 //
 // Pre-joining duplicates each dimension value into every matching fact
 // record, which normally makes UPDATE expensive. This example renames a
-// supplier city across the whole pre-joined SSB relation using the paper's
-// PIM MUX — a filter program plus one conditional write per attribute bit,
-// zero host reads — and verifies the result against a fresh re-join.
+// supplier city across the whole pre-joined SSB relation with one SQL
+// statement — UPDATE ... SET ... WHERE through the db facade, which routes
+// it to the paper's PIM MUX (a filter program plus one conditional write
+// per attribute bit, zero host reads) under the Database writer gate —
+// and verifies the mutated store record by record.
 //
 //   ./examples/update_inplace
 #include <iostream>
 
 #include "common/table_printer.hpp"
 #include "common/units.hpp"
-#include "engine/pim_store.hpp"
-#include "engine/prejoin.hpp"
-#include "pim/module.hpp"
+#include "db/db.hpp"
 #include "ssb/dbgen.hpp"
 
 int main() {
@@ -21,12 +21,12 @@ int main() {
 
   ssb::SsbConfig gen;
   gen.scale_factor = 0.05;
-  ssb::SsbData data = ssb::generate(gen);
-  const rel::Table prejoined = ssb::prejoin_ssb(data);
+  const ssb::SsbData data = ssb::generate(gen);
 
-  pim::PimModule module;
-  engine::PimStore store(module, prejoined);
-  const host::HostConfig hcfg;
+  db::Database database;
+  const rel::Table& prejoined =
+      database.register_table(ssb::prejoin_ssb(data));
+  db::Session session(database);
 
   const std::size_t s_city = *prejoined.schema().index_of("s_city");
   const auto& dict = *prejoined.schema().attribute(s_city).dict;
@@ -37,17 +37,14 @@ int main() {
   for (std::size_t r = 0; r < prejoined.row_count(); ++r) {
     expected += prejoined.value(r, s_city) == old_code;
   }
-  std::cout << "UPDATE prejoined SET s_city = 'UNITED ST9' WHERE s_city = "
-               "'UNITED ST0'\n";
-  std::cout << "(" << expected << " of " << prejoined.row_count()
+  const char* sql =
+      "UPDATE ssb_prejoined SET s_city = 'UNITED ST9' "
+      "WHERE s_city = 'UNITED ST0'";
+  std::cout << sql << "\n(" << expected << " of " << prejoined.row_count()
             << " records hold the duplicated value)\n\n";
 
-  sql::BoundPredicate where;
-  where.kind = sql::BoundPredicate::Kind::kEq;
-  where.attr = s_city;
-  where.v1 = old_code;
-  const engine::UpdateStats st =
-      engine::pim_update(store, hcfg, {where}, s_city, new_code);
+  const db::ResultSet rs = session.execute(sql, db::BackendKind::kOneXb);
+  const engine::UpdateStats& st = rs.update_stats();
 
   TablePrinter t({"Metric", "PIM (Algorithm 1)", "Host read-modify-write"});
   t.add_row({"Updated records", std::to_string(st.updated_records), "same"});
@@ -58,12 +55,13 @@ int main() {
   t.add_row({"Host lines read", std::to_string(st.host_lines_read),
              "filter bits + 2/record"});
   t.add_row({"Bulk-bitwise cycles/page", std::to_string(st.cycles), "0"});
+  t.add_row({"Data version", std::to_string(rs.data_version()), "-"});
   t.print(std::cout);
 
-  // Verify against a re-join of the mutated dimension.
-  std::cout << "\nVerifying against a fresh re-join... ";
-  rel::Table customer2 = std::move(data.customer);  // unchanged
-  (void)customer2;
+  // Verify the crossbar store against the immutable source relation.
+  std::cout << "\nVerifying the mutated store record by record... ";
+  engine::PimStore& store =
+      session.pim_engine(engine::EngineKind::kOneXb).store();
   bool ok = st.updated_records == expected;
   for (std::size_t r = 0; r < prejoined.row_count() && ok; ++r) {
     const std::uint64_t before = prejoined.value(r, s_city);

@@ -15,6 +15,7 @@ Database::Database(Database&& other) noexcept {
   default_target_ = std::move(other.default_target_);
   version_.store(other.version_.load(std::memory_order_acquire),
                  std::memory_order_release);
+  writes_ = std::move(other.writes_);
 }
 
 Database& Database::operator=(Database&& other) noexcept {
@@ -25,6 +26,7 @@ Database& Database::operator=(Database&& other) noexcept {
     default_target_ = std::move(other.default_target_);
     version_.store(other.version_.load(std::memory_order_acquire),
                    std::memory_order_release);
+    writes_ = std::move(other.writes_);
   }
   return *this;
 }
@@ -126,6 +128,19 @@ const rel::Table& Database::resolve_target(
     throw std::invalid_argument("Database: no tables registered");
   }
   return *entry_locked(default_target_).table;
+}
+
+TableWrites& Database::writes(const rel::Table& table) {
+  std::lock_guard lock(writes_mutex_);
+  std::unique_ptr<TableWrites>& slot = writes_[&table];
+  if (slot == nullptr) slot = std::make_unique<TableWrites>();
+  return *slot;
+}
+
+std::uint64_t Database::update_version(const rel::Table& table) {
+  TableWrites& w = writes(table);
+  std::shared_lock gate(w.gate);
+  return w.log.size();
 }
 
 Session Database::connect() { return Session(*this); }

@@ -14,12 +14,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "relational/table.hpp"
+#include "sql/logical_plan.hpp"
 
 namespace bbpim::db {
 
@@ -33,6 +35,29 @@ struct LoadPolicy {
   /// Two-crossbar part assignment; nullptr = the store's default SSB rule
   /// (fact "lo_*" attributes in part 0, dimension attributes in part 1).
   std::function<int(const std::string&)> part_of;
+};
+
+/// Per-table write coordination for the SQL UPDATE path.
+///
+/// The catalog's registered tables are immutable, but their PIM-resident
+/// copies are not: Algorithm-1 updates rewrite crossbar data in place, and
+/// every session (and every QueryService worker) owns a PRIVATE store of
+/// the table. TableWrites is how those copies stay one logical relation:
+///
+///   - `gate` is the writer gate. An update holds it exclusively — no read
+///     anywhere observes a half-applied update, and the log append point is
+///     a total order over updates. Reads hold it shared for their whole
+///     execution (catch-up replay + simulated query).
+///   - `log` is the ordered update history. A store that has applied the
+///     first k entries is at data version k; executors replay the missing
+///     suffix into their own store before executing (lazy catch-up), so a
+///     store built or idle while updates landed converges deterministically.
+///
+/// Guarded by `gate`: read `log` under a shared lock, append under an
+/// exclusive one.
+struct TableWrites {
+  mutable std::shared_mutex gate;
+  std::vector<sql::BoundUpdate> log;
 };
 
 /// Thread-safe: catalog lookups take a shared lock, mutations an exclusive
@@ -81,6 +106,15 @@ class Database {
     return version_.load(std::memory_order_acquire);
   }
 
+  /// Write-coordination state of a registered/attached table (created on
+  /// first use; address stable for the database's lifetime). Accepts the
+  /// exact table reference held in the catalog.
+  TableWrites& writes(const rel::Table& table);
+
+  /// Updates committed against `table` so far (its current data version).
+  /// Takes the table's writer gate shared.
+  std::uint64_t update_version(const rel::Table& table);
+
   /// Opens a session over this catalog (must not outlive the database).
   Session connect();
   Session connect(SessionOptions opts);
@@ -101,6 +135,11 @@ class Database {
   std::vector<std::string> order_;
   std::string default_target_;
   std::atomic<std::uint64_t> version_{0};
+  /// Lazily created per-table write state; unique_ptr keeps addresses
+  /// stable across map growth. Guarded by writes_mutex_ (creation only —
+  /// TableWrites guards itself afterwards).
+  std::mutex writes_mutex_;
+  std::map<const rel::Table*, std::unique_ptr<TableWrites>> writes_;
 };
 
 }  // namespace bbpim::db

@@ -9,6 +9,24 @@ ResultSet::ResultSet(engine::QueryOutput out, std::vector<Column> columns,
                      BackendKind backend)
     : out_(std::move(out)), columns_(std::move(columns)), backend_(backend) {}
 
+ResultSet::ResultSet(engine::UpdateStats update, BackendKind backend)
+    : backend_(backend), update_stats_(update) {}
+
+const engine::UpdateStats& ResultSet::update_stats() const {
+  if (!update_stats_) {
+    throw std::logic_error("ResultSet::update_stats: not an UPDATE result");
+  }
+  return *update_stats_;
+}
+
+const engine::QueryStats& ResultSet::stats() const {
+  if (update_stats_) {
+    throw std::logic_error(
+        "ResultSet::stats: UPDATE result (use update_stats())");
+  }
+  return out_.stats;
+}
+
 const std::string& ResultSet::column_name(std::size_t col) const {
   return columns_.at(col).name;
 }

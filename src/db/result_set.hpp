@@ -5,6 +5,12 @@
 // strings and integers without touching schemas or dictionaries. The
 // simulated execution costs (QueryStats) ride along. Self-contained value
 // type: safe to keep after the session that produced it is gone.
+//
+// An UPDATE statement also yields a ResultSet: zero rows, is_update() true,
+// and update_stats() carrying the Algorithm-1 cost record. Both kinds carry
+// data_version() — the number of updates the producing execution observed
+// on its target table — which is what the HTAP benches use to match
+// concurrent results against a serial oracle.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "db/backend.hpp"
+#include "engine/prejoin.hpp"
 #include "engine/query_exec.hpp"
 #include "relational/dictionary.hpp"
 
@@ -32,6 +39,8 @@ class ResultSet {
   ResultSet() = default;
   ResultSet(engine::QueryOutput out, std::vector<Column> columns,
             BackendKind backend);
+  /// UPDATE result: no rows/columns, stats of the Algorithm-1 execution.
+  ResultSet(engine::UpdateStats update, BackendKind backend);
 
   std::size_t row_count() const { return out_.rows.size(); }
   std::size_t column_count() const { return columns_.size(); }
@@ -48,9 +57,29 @@ class ResultSet {
   std::string text(std::size_t row, std::size_t col) const;
 
   BackendKind backend() const { return backend_; }
-  const engine::QueryStats& stats() const { return out_.stats; }
+  /// Simulated query costs; throws std::logic_error on UPDATE results
+  /// (symmetric with update_stats() — a silent all-zero QueryStats would
+  /// skew any mixed-workload aggregate that forgot to branch).
+  const engine::QueryStats& stats() const;
   const std::vector<engine::ResultRow>& rows() const { return out_.rows; }
   const engine::QueryOutput& output() const { return out_; }
+
+  // --- UPDATE results ------------------------------------------------------
+  bool is_update() const { return update_stats_.has_value(); }
+  /// Algorithm-1 cost record; throws std::logic_error on SELECT results.
+  const engine::UpdateStats& update_stats() const;
+  /// Records rewritten (0 for SELECT results).
+  std::size_t updated_records() const {
+    return update_stats_ ? update_stats_->updated_records : 0;
+  }
+
+  /// Target-table data version this execution observed: the number of
+  /// committed updates replayed into the executing store (for an UPDATE,
+  /// including itself — its position in the table's update log). 0 for
+  /// backends without update support and for pre-update-era results.
+  std::uint64_t data_version() const { return data_version_; }
+  /// Facade-internal (set by PreparedStatement::execute).
+  void set_data_version(std::uint64_t version) { data_version_ = version; }
 
  private:
   const engine::ResultRow& row(std::size_t r) const;
@@ -58,6 +87,8 @@ class ResultSet {
   engine::QueryOutput out_;
   std::vector<Column> columns_;
   BackendKind backend_ = BackendKind::kReference;
+  std::optional<engine::UpdateStats> update_stats_;
+  std::uint64_t data_version_ = 0;
 };
 
 }  // namespace bbpim::db

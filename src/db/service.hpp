@@ -57,9 +57,14 @@ class QueryService {
   QueryService& operator=(const QueryService&) = delete;
 
   // --- asynchronous serving ----------------------------------------------
-  /// Enqueues one query on the default backend. The future delivers the
-  /// ResultSet, or rethrows whatever the query raised on the worker.
-  /// Throws std::runtime_error once shutdown() has been called.
+  /// Enqueues one statement on the default backend — SELECT or UPDATE; the
+  /// pool serves mixed read/write traffic. An UPDATE executed by any worker
+  /// commits to the Database's per-table update log under the exclusive
+  /// writer gate; every other worker's private store replays it before its
+  /// next execution on that table, so reads anywhere observe a consistent
+  /// log prefix (reported by ResultSet::data_version). The future delivers
+  /// the ResultSet, or rethrows whatever the statement raised on the
+  /// worker. Throws std::runtime_error once shutdown() has been called.
   std::future<ResultSet> submit(std::string sql_text,
                                 const engine::ExecOptions& opts = {});
   std::future<ResultSet> submit(std::string sql_text, BackendKind backend,

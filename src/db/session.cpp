@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <shared_mutex>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "baseline/reference.hpp"
 #include "engine/explain.hpp"
 #include "engine/pim_store.hpp"
+#include "engine/prejoin.hpp"
 #include "pim/module.hpp"
 #include "sql/parser.hpp"
 #include "ssb/dbgen.hpp"
@@ -32,6 +34,16 @@ std::vector<ResultSet::Column> result_columns(const sql::BoundQuery& q,
   return cols;
 }
 
+/// Part of an attribute under a table's load policy — the vertical split a
+/// two-xb store of this table would use. Updates are validated against it
+/// regardless of which engine executes them, so the shared update log stays
+/// replayable on EVERY engine variant of the table (a one-part store would
+/// happily apply a cross-part update that a two-xb replica then chokes on).
+int policy_part(const LoadPolicy& policy, const std::string& attr_name) {
+  if (policy.part_of) return policy.part_of(attr_name);
+  return attr_name.rfind("lo_", 0) == 0 ? 0 : 1;  // PimStore's default rule
+}
+
 /// PIM backends: module + store built at first touch, models fitted only
 /// when a query actually needs the GROUP-BY planner.
 class PimExecutor final : public Executor {
@@ -41,6 +53,8 @@ class PimExecutor final : public Executor {
       : session_(&session),
         kind_(kind),
         table_(&table),
+        policy_(&policy),
+        writes_(&session.database().writes(table)),
         module_(session.options().pim),
         store_(module_, table,
                [&] {
@@ -66,9 +80,43 @@ class PimExecutor final : public Executor {
                               const engine::ExecOptions& opts) override {
     // The planner (Equation 3) is the only consumer of the fitted models;
     // forced-k and ungrouped queries run model-free, exactly as the seed's
-    // ablation benches did.
+    // ablation benches did. Fit before taking the gate: a fitting campaign
+    // under a shared gate would stall writers for its whole duration.
     if (q.has_group_by() && !opts.force_k.has_value()) ensure_models();
-    return engine_.execute(q, opts);
+    // Reader side of the writer gate: updates cannot land while this
+    // execution runs, and the catch-up below pins which log prefix it sees.
+    std::shared_lock gate(writes_->gate);
+    catch_up();
+    engine::QueryOutput out = engine_.execute(q, opts);
+    observed_version_ = applied_;
+    return out;
+  }
+
+  UpdateResult execute_update(const sql::BoundUpdate& update,
+                              const engine::ExecOptions&) override {
+    // Writer side: exclusive gate = no in-flight reads on this table while
+    // crossbar data mutates, and the log append is a total order.
+    std::unique_lock gate(writes_->gate);
+    catch_up();
+    validate_parts(update);
+    UpdateResult result;
+    {
+      const auto mutation = store_.lock_mutation();
+      result.stats =
+          engine::pim_update(store_, session_->options().host, update.filters,
+                             update.attr, update.value);
+    }
+    // Commit only after the local application succeeded: a throwing update
+    // (validation, scratch exhaustion) must not poison the log for replicas.
+    writes_->log.push_back(update);
+    ++applied_;
+    observed_version_ = applied_;
+    result.data_version = applied_;
+    return result;
+  }
+
+  std::uint64_t last_data_version() const override {
+    return observed_version_;
   }
 
   std::string explain(const sql::BoundQuery& q) override {
@@ -84,12 +132,48 @@ class PimExecutor final : public Executor {
   engine::PimQueryEngine& engine() { return engine_; }
 
  private:
+  /// Replays committed updates this store has not applied yet. Caller holds
+  /// the writer gate (shared suffices: only this session's thread touches
+  /// this store, and appends require the exclusive gate).
+  void catch_up() {
+    if (applied_ == writes_->log.size()) return;
+    const auto mutation = store_.lock_mutation();
+    for (; applied_ < writes_->log.size(); ++applied_) {
+      const sql::BoundUpdate& u = writes_->log[applied_];
+      engine::pim_update(store_, session_->options().host, u.filters, u.attr,
+                         u.value);
+    }
+  }
+
+  /// The cross-engine replayability rule (see policy_part above).
+  void validate_parts(const sql::BoundUpdate& update) const {
+    const rel::Schema& schema = table_->schema();
+    const int part =
+        policy_part(*policy_, schema.attribute(update.attr).name);
+    for (const sql::BoundPredicate& p : update.filters) {
+      if (p.kind == sql::BoundPredicate::Kind::kAlways ||
+          p.kind == sql::BoundPredicate::Kind::kNever) {
+        continue;
+      }
+      if (policy_part(*policy_, schema.attribute(p.attr).name) != part) {
+        throw std::invalid_argument(
+            "execute_update: WHERE predicates must live in the updated "
+            "attribute's part under the table's load policy (Algorithm 1 "
+            "computes the select bit in-part)");
+      }
+    }
+  }
+
   Session* session_;
   engine::EngineKind kind_;
   const rel::Table* table_;
+  const LoadPolicy* policy_;
+  TableWrites* writes_;
   pim::PimModule module_;
   engine::PimStore store_;
   engine::PimQueryEngine engine_;
+  std::uint64_t applied_ = 0;           ///< log prefix applied to store_
+  std::uint64_t observed_version_ = 0;  ///< version of the last execution
 };
 
 /// The PIM-only execution knobs are meaningless for the host baselines;
@@ -106,11 +190,24 @@ void reject_pim_exec_options(BackendKind backend,
   }
 }
 
+/// The host baselines scan the immutable catalog table, so once PIM-side
+/// updates exist their results would silently diverge from every PIM
+/// backend. Refuse instead of serving stale rows.
+void reject_updated_table(BackendKind backend, Database& db,
+                          const rel::Table& table) {
+  if (db.update_version(table) > 0) {
+    throw std::runtime_error(
+        std::string("execute: backend '") + backend_name(backend) +
+        "' reads the immutable catalog table and cannot observe the " +
+        "committed PIM updates on '" + table.name() + "'");
+  }
+}
+
 /// MonetDB-like columnar cost model over the target relation (mnt-join).
 class ColumnarExecutor final : public Executor {
  public:
-  explicit ColumnarExecutor(const rel::Table& table)
-      : table_(&table), monet_(no_dimensions_, table) {}
+  ColumnarExecutor(Database& db, const rel::Table& table)
+      : db_(&db), table_(&table), monet_(no_dimensions_, table) {}
 
   BackendKind backend() const override { return BackendKind::kColumnar; }
   const rel::Table& target() const override { return *table_; }
@@ -118,6 +215,7 @@ class ColumnarExecutor final : public Executor {
   engine::QueryOutput execute(const sql::BoundQuery& q,
                               const engine::ExecOptions& opts) override {
     reject_pim_exec_options(backend(), opts);
+    reject_updated_table(backend(), *db_, *table_);
     baseline::BaselineRun run = monet_.execute_prejoined(q);
     engine::QueryOutput out;
     out.rows = std::move(run.rows);
@@ -131,6 +229,7 @@ class ColumnarExecutor final : public Executor {
   }
 
  private:
+  Database* db_;
   const rel::Table* table_;
   ssb::SsbData no_dimensions_;  ///< star-plan dimensions unused by mnt-join
   baseline::MonetLikeEngine monet_;
@@ -139,7 +238,8 @@ class ColumnarExecutor final : public Executor {
 /// Scalar reference scan: exact rows, no cost model.
 class ReferenceExecutor final : public Executor {
  public:
-  explicit ReferenceExecutor(const rel::Table& table) : table_(&table) {}
+  ReferenceExecutor(Database& db, const rel::Table& table)
+      : db_(&db), table_(&table) {}
 
   BackendKind backend() const override { return BackendKind::kReference; }
   const rel::Table& target() const override { return *table_; }
@@ -147,6 +247,7 @@ class ReferenceExecutor final : public Executor {
   engine::QueryOutput execute(const sql::BoundQuery& q,
                               const engine::ExecOptions& opts) override {
     reject_pim_exec_options(backend(), opts);
+    reject_updated_table(backend(), *db_, *table_);
     baseline::ReferenceRun run = baseline::scan_execute(*table_, q);
     engine::QueryOutput out;
     out.rows = std::move(run.rows);
@@ -159,6 +260,7 @@ class ReferenceExecutor final : public Executor {
   }
 
  private:
+  Database* db_;
   const rel::Table* table_;
 };
 
@@ -333,13 +435,28 @@ ResultSet PreparedStatement::execute(BackendKind backend,
     throw std::logic_error("PreparedStatement: not prepared by a session");
   }
   Executor& ex = session_->executor_for(backend, *plan_->target);
+  if (plan_->kind == sql::Statement::Kind::kUpdate) {
+    const UpdateResult result = ex.execute_update(plan_->update, opts);
+    ResultSet rs(result.stats, backend);
+    rs.set_data_version(result.data_version);
+    return rs;
+  }
   engine::QueryOutput out = ex.execute(plan_->bound, opts);
-  return ResultSet(std::move(out),
-                   result_columns(plan_->bound, plan_->target->schema()),
-                   backend);
+  ResultSet rs(std::move(out),
+               result_columns(plan_->bound, plan_->target->schema()), backend);
+  rs.set_data_version(ex.last_data_version());
+  return rs;
 }
 
 // --- Session ---------------------------------------------------------------
+
+UpdateResult Executor::execute_update(const sql::BoundUpdate&,
+                                      const engine::ExecOptions&) {
+  throw std::invalid_argument(
+      std::string("execute: backend '") + backend_name(backend()) +
+      "' does not support UPDATE (host baselines read the immutable "
+      "catalog table; route updates through a PIM backend)");
+}
 
 std::string Executor::explain(const sql::BoundQuery&) {
   throw std::invalid_argument(std::string("explain: backend '") +
@@ -372,10 +489,20 @@ PreparedStatement Session::prepare(std::string_view sql_text) {
   if (it == plans_.end()) {
     auto plan = std::make_shared<Plan>();
     plan->sql = std::string(sql_text);
-    const sql::SelectStmt stmt = sql::parse(plan->sql);
-    const rel::Table& target = db_->resolve_target(stmt.from);
-    plan->bound = sql::bind(stmt, target.schema());
-    plan->target = &target;
+    const sql::Statement stmt = sql::parse_statement(plan->sql);
+    plan->kind = stmt.kind;
+    if (stmt.kind == sql::Statement::Kind::kUpdate) {
+      // UPDATE targets resolve like FROM lists: a registered table by name,
+      // else the default target (SSB updates name logical source tables the
+      // pre-joined relation subsumes).
+      const rel::Table& target = db_->resolve_target({stmt.update.table});
+      plan->update = sql::bind_update(stmt.update, target.schema());
+      plan->target = &target;
+    } else {
+      const rel::Table& target = db_->resolve_target(stmt.select.from);
+      plan->bound = sql::bind(stmt.select, target.schema());
+      plan->target = &target;
+    }
     it = plans_.emplace(plan->sql, std::move(plan)).first;
   }
   return PreparedStatement(*this, it->second);
@@ -397,6 +524,10 @@ std::string Session::explain(std::string_view sql_text) {
 
 std::string Session::explain(std::string_view sql_text, BackendKind backend) {
   const PreparedStatement st = prepare(sql_text);
+  if (st.is_update()) {
+    throw std::invalid_argument(
+        "explain: UPDATE statements have no physical plan rendering");
+  }
   return executor_for(backend, st.target()).explain(st.bound());
 }
 
@@ -423,9 +554,9 @@ Executor& Session::executor_for(BackendKind backend, const rel::Table& table) {
     ex = std::make_unique<PimExecutor>(*this, *kind, table,
                                        db_->policy_of(table));
   } else if (backend == BackendKind::kColumnar) {
-    ex = std::make_unique<ColumnarExecutor>(table);
+    ex = std::make_unique<ColumnarExecutor>(*db_, table);
   } else {
-    ex = std::make_unique<ReferenceExecutor>(table);
+    ex = std::make_unique<ReferenceExecutor>(*db_, table);
   }
   return *executors_.emplace(key, std::move(ex)).first->second;
 }

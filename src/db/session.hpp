@@ -129,7 +129,21 @@ struct SessionOptions {
   bool verbose = false;
 };
 
+/// Result of one facade UPDATE execution.
+struct UpdateResult {
+  engine::UpdateStats stats;
+  /// The update's position in the table's log (its new data version).
+  std::uint64_t data_version = 0;
+};
+
 /// Uniform execution interface over one (backend, relation) pair.
+///
+/// Mutation-safe serving contract: PIM executors route every execution
+/// through the table's Database-level writer gate — reads hold it shared,
+/// updates exclusive — and replay the table's committed update log into
+/// their private store before executing (lazy catch-up). Every result
+/// therefore reflects a prefix of the update log, and last_data_version()
+/// reports which one.
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -137,6 +151,15 @@ class Executor {
   virtual const rel::Table& target() const = 0;
   virtual engine::QueryOutput execute(const sql::BoundQuery& q,
                                       const engine::ExecOptions& opts) = 0;
+  /// Applies a bound UPDATE (Algorithm 1) and commits it to the table's
+  /// update log. Throws std::invalid_argument for backends that cannot
+  /// mutate (the host baselines read the immutable catalog table).
+  virtual UpdateResult execute_update(const sql::BoundUpdate& update,
+                                      const engine::ExecOptions& opts);
+  /// Data version observed by the most recent execute()/execute_update()
+  /// through this executor (sessions are single-threaded per the threading
+  /// model, so this pairs with the call that just returned).
+  virtual std::uint64_t last_data_version() const { return 0; }
   /// Physical-plan rendering; throws std::invalid_argument for backends
   /// without one (the host baselines).
   virtual std::string explain(const sql::BoundQuery& q);
@@ -157,9 +180,11 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   // --- statements ---------------------------------------------------------
-  /// Parses, resolves the FROM list against the catalog, binds, and caches
-  /// the plan by SQL text. Throws std::invalid_argument on syntax errors,
-  /// unknown columns, type mismatches, or multiple aggregates.
+  /// Parses, resolves the target against the catalog, binds, and caches
+  /// the plan by SQL text. Accepts SELECT and UPDATE statements (an UPDATE
+  /// resolves its table name like a one-element FROM list). Throws
+  /// std::invalid_argument on syntax errors, unknown columns, type
+  /// mismatches, multiple aggregates, or unencodable SET values.
   PreparedStatement prepare(std::string_view sql_text);
   ResultSet execute(std::string_view sql_text,
                     const engine::ExecOptions& opts = {});

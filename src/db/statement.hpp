@@ -3,7 +3,9 @@
 // A cheap copyable handle over an immutable plan in the session's cache
 // (keyed by SQL text). Re-execution skips the front-end entirely; the
 // simulator is deterministic, so re-running a statement reproduces rows
-// and stats exactly.
+// and stats exactly. A plan is either a SELECT (bound query) or an UPDATE
+// (bound mutation); executing an UPDATE returns an UpdateStats-backed
+// ResultSet and advances the target table's data version.
 #pragma once
 
 #include <memory>
@@ -14,17 +16,20 @@
 #include "db/result_set.hpp"
 #include "engine/query_exec.hpp"
 #include "relational/table.hpp"
+#include "sql/ast.hpp"
 #include "sql/logical_plan.hpp"
 
 namespace bbpim::db {
 
 class Session;
 
-/// A parsed and bound query pinned to its target relation. Immutable and
-/// shared between the session's plan cache and every statement handle.
+/// A parsed and bound statement pinned to its target relation. Immutable
+/// and shared between the session's plan cache and every statement handle.
 struct Plan {
   std::string sql;
-  sql::BoundQuery bound;
+  sql::Statement::Kind kind = sql::Statement::Kind::kSelect;
+  sql::BoundQuery bound;        ///< kSelect only
+  sql::BoundUpdate update;      ///< kUpdate only
   const rel::Table* target = nullptr;
 };
 
@@ -34,12 +39,31 @@ class PreparedStatement {
 
   /// Executes on the session's default backend.
   ResultSet execute(const engine::ExecOptions& opts = {}) const;
-  /// Executes on an explicit backend.
+  /// Executes on an explicit backend. UPDATE statements require a PIM
+  /// backend (the host baselines read the immutable catalog table and
+  /// cannot observe crossbar mutation).
   ResultSet execute(BackendKind backend,
                     const engine::ExecOptions& opts = {}) const;
 
   const std::string& sql() const { return plan().sql; }
-  const sql::BoundQuery& bound() const { return plan().bound; }
+  bool is_update() const {
+    return plan().kind == sql::Statement::Kind::kUpdate;
+  }
+  /// Bound SELECT; throws std::logic_error for UPDATE statements.
+  const sql::BoundQuery& bound() const {
+    if (is_update()) {
+      throw std::logic_error("PreparedStatement::bound: UPDATE statement");
+    }
+    return plan().bound;
+  }
+  /// Bound UPDATE; throws std::logic_error for SELECT statements.
+  const sql::BoundUpdate& bound_update() const {
+    if (!is_update()) {
+      throw std::logic_error(
+          "PreparedStatement::bound_update: SELECT statement");
+    }
+    return plan().update;
+  }
   const rel::Table& target() const { return *plan().target; }
 
  private:

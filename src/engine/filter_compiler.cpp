@@ -114,7 +114,7 @@ std::shared_ptr<const CompiledFilter> FilterCache::get_or_compile(
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
-      std::shared_ptr<const CompiledFilter> hit = it->second;
+      std::shared_ptr<const CompiledFilter> hit = it->second.filter;
       // Replay outside the map lookup scope is fine: the entry is immutable.
       alloc.acquire(hit->result_col);
       return hit;
@@ -125,8 +125,16 @@ std::shared_ptr<const CompiledFilter> FilterCache::get_or_compile(
       compile_filter(filters, layout, alloc));
   std::lock_guard<std::mutex> lock(mutex_);
   if (entries_.size() >= kMaxEntries) entries_.clear();
-  entries_.emplace(std::move(key), compiled);
+  entries_.emplace(std::move(key), Entry{part, compiled});
   return compiled;
+}
+
+void FilterCache::invalidate(int part) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++invalidations_;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    it = it->second.part == part ? entries_.erase(it) : std::next(it);
+  }
 }
 
 std::size_t FilterCache::hit_count() const {
@@ -137,6 +145,11 @@ std::size_t FilterCache::hit_count() const {
 std::size_t FilterCache::miss_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return misses_;
+}
+
+std::size_t FilterCache::invalidation_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return invalidations_;
 }
 
 CompiledFilter compile_group_match(const std::vector<std::size_t>& group_attrs,

@@ -1,6 +1,7 @@
 #include "engine/pim_store.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -53,6 +54,9 @@ PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
   for (int part = 0; part < parts(); ++part) load_part(part);
 
   // Distinct stats for GROUP-BY candidate enumeration.
+  max_distinct_ = opt.max_distinct;
+  attr_mutated_.assign(nattrs, false);
+  distinct_stale_.assign(nattrs, false);
   distinct_.resize(nattrs);
   for (std::size_t a = 0; a < nattrs; ++a) {
     std::unordered_set<std::uint64_t> seen;
@@ -110,7 +114,8 @@ std::uint32_t PimStore::page_records(std::size_t i) const {
 const std::unordered_map<std::uint64_t, std::uint64_t>*
 PimStore::functional_dependency(std::size_t attr_a, std::size_t attr_b) const {
   if (attr_a == attr_b) return nullptr;
-  if (!distinct_.at(attr_a) || !distinct_.at(attr_b)) return nullptr;
+  // Through the refreshing accessor: mutation can change the capped status.
+  if (!distinct_values(attr_a) || !distinct_values(attr_b)) return nullptr;
   const auto key = std::make_pair(attr_a, attr_b);
   const auto it = fd_cache_.find(key);
   if (it != fd_cache_.end()) {
@@ -118,11 +123,11 @@ PimStore::functional_dependency(std::size_t attr_a, std::size_t attr_b) const {
   }
   std::unordered_map<std::uint64_t, std::uint64_t> map;
   map.reserve(distinct_[attr_a]->size());
-  const auto& col_a = table_->column(attr_a);
-  const auto& col_b = table_->column(attr_b);
   for (std::size_t r = 0; r < records_; ++r) {
-    const auto [entry, fresh] = map.try_emplace(col_a[r], col_b[r]);
-    if (!fresh && entry->second != col_b[r]) {
+    const std::uint64_t va = current_value(r, attr_a);
+    const std::uint64_t vb = current_value(r, attr_b);
+    const auto [entry, fresh] = map.try_emplace(va, vb);
+    if (!fresh && entry->second != vb) {
       fd_cache_.emplace(key, std::nullopt);  // violated: not a dependency
       return nullptr;
     }
@@ -135,19 +140,18 @@ PimStore::functional_dependency(std::size_t attr_a, std::size_t attr_b) const {
 const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
 PimStore::co_occurrence(std::size_t attr_a, std::size_t attr_b) const {
   if (attr_a == attr_b) return nullptr;
-  if (!distinct_.at(attr_a) || !distinct_.at(attr_b)) return nullptr;
+  if (!distinct_values(attr_a) || !distinct_values(attr_b)) return nullptr;
   const auto key = std::make_pair(attr_a, attr_b);
   const auto it = co_cache_.find(key);
   if (it != co_cache_.end()) return &it->second;
 
   std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> map;
   map.reserve(distinct_[attr_a]->size());
-  const auto& col_a = table_->column(attr_a);
-  const auto& col_b = table_->column(attr_b);
   for (std::size_t r = 0; r < records_; ++r) {
-    std::vector<std::uint64_t>& vals = map[col_a[r]];
-    if (std::find(vals.begin(), vals.end(), col_b[r]) == vals.end()) {
-      vals.push_back(col_b[r]);
+    std::vector<std::uint64_t>& vals = map[current_value(r, attr_a)];
+    const std::uint64_t vb = current_value(r, attr_b);
+    if (std::find(vals.begin(), vals.end(), vb) == vals.end()) {
+      vals.push_back(vb);
     }
   }
   for (auto& [a, vals] : map) std::sort(vals.begin(), vals.end());
@@ -162,6 +166,78 @@ std::uint64_t PimStore::read_attr(std::size_t record, std::size_t attr) const {
   const std::uint32_t in_page = static_cast<std::uint32_t>(record % records_per_page_);
   return module_->read_record_field(module_page_index(part, p), in_page,
                                     layouts_[part].field(attr));
+}
+
+std::uint64_t PimStore::current_value(std::size_t record,
+                                      std::size_t attr) const {
+  return attr_mutated_[attr] ? read_attr(record, attr)
+                             : table_->column(attr)[record];
+}
+
+const std::optional<std::vector<std::uint64_t>>& PimStore::distinct_values(
+    std::size_t attr) const {
+  if (distinct_stale_.at(attr)) {
+    // Rebuild from the crossbars (the backing table column no longer
+    // reflects the stored values). Same capping rule as load time. Lazy so
+    // a burst of replayed updates pays one rescan at the next consumer.
+    std::unordered_set<std::uint64_t> seen;
+    bool capped = false;
+    for (std::size_t r = 0; r < records_; ++r) {
+      seen.insert(read_attr(r, attr));
+      if (seen.size() > max_distinct_) {
+        capped = true;
+        break;
+      }
+    }
+    if (capped) {
+      distinct_[attr].reset();
+    } else {
+      std::vector<std::uint64_t> vals(seen.begin(), seen.end());
+      std::sort(vals.begin(), vals.end());
+      distinct_[attr] = std::move(vals);
+    }
+    distinct_stale_[attr] = false;
+  }
+  return distinct_.at(attr);
+}
+
+std::uint64_t PimStore::contents_checksum() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  const std::size_t nattrs = table_->schema().attribute_count();
+  for (std::size_t r = 0; r < records_; ++r) {
+    for (std::size_t a = 0; a < nattrs; ++a) {
+      h = (h ^ read_attr(r, a)) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+void PimStore::note_mutation(std::size_t attr) {
+  assert(mutation_locked_by_caller() &&
+         "PimStore::note_mutation requires the mutation lock");
+  attr_mutated_.at(attr) = true;
+  distinct_stale_.at(attr) = true;
+  data_version_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Derived-statistics caches involving the attribute are stale; drop them
+  // so the next consumer recomputes from current data (current_value reads
+  // mutated attributes through the crossbars).
+  for (auto it = fd_cache_.begin(); it != fd_cache_.end();) {
+    it = (it->first.first == attr || it->first.second == attr)
+             ? fd_cache_.erase(it)
+             : std::next(it);
+  }
+  for (auto it = co_cache_.begin(); it != co_cache_.end();) {
+    it = (it->first.first == attr || it->first.second == attr)
+             ? co_cache_.erase(it)
+             : std::next(it);
+  }
+
+  // Compiled-filter programs for the mutated part: the programs themselves
+  // are pure functions of (predicates, layout), but the cache key cannot
+  // observe data mutation — per-part invalidation keeps the contract simple
+  // and is what the regression tests pin.
+  filter_cache_.invalidate(part_of_attr(attr));
 }
 
 }  // namespace bbpim::engine

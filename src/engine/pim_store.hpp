@@ -11,11 +11,14 @@
 // potential subgroups according to query and database details", Table II).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -71,11 +74,16 @@ class PimStore {
   std::uint64_t read_attr(std::size_t record, std::size_t attr) const;
 
   /// Sorted distinct values of an attribute, or nullopt when cardinality
-  /// exceeded Options::max_distinct.
+  /// exceeded Options::max_distinct. After an in-place mutation the stats
+  /// are rebuilt lazily from the crossbars on first access, so a burst of
+  /// catch-up-replayed updates costs one rescan, not one per update.
   const std::optional<std::vector<std::uint64_t>>& distinct_values(
-      std::size_t attr) const {
-    return distinct_.at(attr);
-  }
+      std::size_t attr) const;
+
+  /// Full-store FNV-1a digest over every record's attribute codes, read
+  /// through the crossbars — the store-equivalence checksum the HTAP bench
+  /// and determinism tests compare against their serial oracles.
+  std::uint64_t contents_checksum() const;
 
   /// Value map of the functional dependency attr_a -> attr_b, or nullptr
   /// when it does not hold (or either side's cardinality is uncapped).
@@ -96,8 +104,68 @@ class PimStore {
   /// prepared-statement executions skip recompilation).
   FilterCache& filter_cache() { return filter_cache_; }
 
+  // --- mutation (Algorithm-1 UPDATE) ---------------------------------------
+  // Crossbar data can be rewritten in place (engine::pim_update). Everything
+  // this store caches about the data — distinct-value stats, functional
+  // dependencies, co-occurrence maps, compiled-filter programs — observes
+  // mutation through the protocol below: take the mutation lock, mutate,
+  // call note_mutation(attr). Queries racing a mutation on the SAME store
+  // are the caller's bug (the db facade's per-table writer gate enforces
+  // exclusion); the lock exists so that bug is caught, not silently raced.
+
+  /// RAII exclusive mutation lock. pim_update asserts (debug builds) that
+  /// the calling thread holds it.
+  class MutationLock {
+   public:
+    explicit MutationLock(PimStore& store) : store_(&store) {
+      store_->mutation_mutex_.lock();
+      store_->mutation_owner_.store(std::this_thread::get_id(),
+                                    std::memory_order_release);
+    }
+    ~MutationLock() {
+      if (store_ != nullptr) {
+        store_->mutation_owner_.store(std::thread::id{},
+                                      std::memory_order_release);
+        store_->mutation_mutex_.unlock();
+      }
+    }
+    MutationLock(MutationLock&& other) noexcept : store_(other.store_) {
+      other.store_ = nullptr;
+    }
+    MutationLock(const MutationLock&) = delete;
+    MutationLock& operator=(const MutationLock&) = delete;
+    MutationLock& operator=(MutationLock&&) = delete;
+
+   private:
+    PimStore* store_;
+  };
+
+  MutationLock lock_mutation() { return MutationLock(*this); }
+
+  /// True when the calling thread holds the mutation lock.
+  bool mutation_locked_by_caller() const {
+    return mutation_owner_.load(std::memory_order_acquire) ==
+           std::this_thread::get_id();
+  }
+
+  /// Bumped once per data mutation (note_mutation); lets callers detect
+  /// that cached derivations of store contents are stale.
+  std::uint64_t data_version() const {
+    return data_version_.load(std::memory_order_acquire);
+  }
+
+  /// Records that `attr`'s stored values changed in place: bumps
+  /// data_version, rebuilds the attribute's distinct-value stats from the
+  /// crossbars, drops the functional-dependency and co-occurrence cache
+  /// entries that involve the attribute, and invalidates the compiled-filter
+  /// cache for the attribute's part. Caller must hold the mutation lock.
+  void note_mutation(std::size_t attr);
+
  private:
   void load_part(int part);
+  /// Current value of one attribute of one record: the crossbars once the
+  /// attribute was mutated, the (cheaper) backing table column before.
+  std::uint64_t current_value(std::size_t record, std::size_t attr) const;
 
   pim::PimModule* module_;
   const rel::Table* table_;
@@ -108,7 +176,8 @@ class PimStore {
   std::vector<int> attr_part_;               // attr -> part
   std::vector<RecordLayout> layouts_;        // per part
   std::vector<std::size_t> base_page_;       // per part
-  std::vector<std::optional<std::vector<std::uint64_t>>> distinct_;
+  /// Lazily refreshed after mutation (see distinct_values), hence mutable.
+  mutable std::vector<std::optional<std::vector<std::uint64_t>>> distinct_;
   /// (a, b) -> value map when the FD holds, nullopt when checked and absent.
   mutable std::map<std::pair<std::size_t, std::size_t>,
                    std::optional<std::unordered_map<std::uint64_t, std::uint64_t>>>
@@ -117,6 +186,14 @@ class PimStore {
                    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>>
       co_cache_;
   FilterCache filter_cache_;
+
+  std::size_t max_distinct_ = 0;      ///< Options::max_distinct (for refresh)
+  std::vector<bool> attr_mutated_;    ///< attr diverged from the table column
+  /// Distinct stats invalidated by note_mutation, rebuilt on next access.
+  mutable std::vector<bool> distinct_stale_;
+  mutable std::mutex mutation_mutex_;
+  std::atomic<std::thread::id> mutation_owner_{};
+  std::atomic<std::uint64_t> data_version_{0};
 };
 
 }  // namespace bbpim::engine

@@ -1,11 +1,13 @@
 #include "engine/prejoin.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "engine/filter_compiler.hpp"
 #include "host/pipeline.hpp"
 #include "pim/controller.hpp"
+#include "pim/trackers.hpp"
 
 namespace bbpim::engine {
 
@@ -85,6 +87,9 @@ rel::Table prejoin(const rel::Table& fact, std::span<const DimensionSpec> dims,
 UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
                        const std::vector<sql::BoundPredicate>& where,
                        std::size_t attr, std::uint64_t new_value) {
+  assert(store.mutation_locked_by_caller() &&
+         "pim_update requires the store's mutation lock "
+         "(PimStore::lock_mutation); the db facade's writer gate takes it");
   const int part = store.part_of_attr(attr);
   for (const sql::BoundPredicate& p : where) {
     if (p.kind != sql::BoundPredicate::Kind::kAlways &&
@@ -101,6 +106,15 @@ UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
   if (new_value > max_v) {
     throw std::invalid_argument("pim_update: value overflows attribute");
   }
+  // Raw width is not enough: a dictionary of 6 values packs into 3 bits,
+  // so code 7 fits the field yet decodes to nothing. Validate through the
+  // encoding so an undecodable record can never be written.
+  const rel::Attribute& attr_meta = store.table().schema().attribute(attr);
+  if (attr_meta.dict != nullptr && new_value >= attr_meta.dict->size()) {
+    throw std::invalid_argument(
+        "pim_update: value " + std::to_string(new_value) +
+        " has no dictionary code for attribute '" + attr_meta.name + "'");
+  }
 
   // One program: filter -> select bit -> Algorithm 1 MUX. No host reads.
   pim::ColumnAlloc alloc = layout.make_alloc();
@@ -111,7 +125,9 @@ UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
   for (const pim::MicroOp& op : pb.program()) program.push_back(op);
 
   const pim::PimConfig& cfg = store.module().config();
+  store.module().reset_wear();  // per-request wear, like the query path
   pim::EnergyMeter meter;
+  pim::PowerTracker tracker;
   std::vector<pim::RequestTrace> traces;
   std::size_t updated = 0;
   for (std::size_t p = 0; p < store.pages_per_part(); ++p) {
@@ -125,11 +141,17 @@ UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
   params.threads = hcfg.threads;
   params.window = hcfg.request_window;
   params.issue_gap_ns = hcfg.issue_ns;
-  const TimeNs end = host::schedule_requests(traces, params, 0.0, nullptr);
+  const TimeNs end = host::schedule_requests(traces, params, 0.0, &tracker);
 
   UpdateStats stats;
   stats.total_ns = end + hcfg.phase_overhead_ns;
-  stats.energy_j = meter.total();
+  const pim::EnergyBreakdown energy = pim::energy_breakdown(meter);
+  stats.energy_j = energy.total;
+  stats.energy_logic_j = energy.logic;
+  stats.energy_write_j = energy.write;
+  stats.energy_controller_j = energy.controller;
+  stats.peak_chip_w = tracker.peak_module_w() / cfg.chips;
+  stats.wear_row_writes = store.module().max_row_writes();
   stats.cycles = program.size();
   stats.updated_records = updated;
 
@@ -143,6 +165,12 @@ UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
                                 2 * hcfg.phase_overhead_ns;
 
   alloc.release(filter.result_col);
+
+  // Cached derivations of store contents (distinct stats, FD/co-occurrence
+  // maps, compiled-filter programs of this part) observed old data; refresh
+  // them while the mutation lock is still held. A no-match update changed
+  // nothing, so its caches stay warm.
+  if (updated > 0) store.note_mutation(attr);
   return stats;
 }
 

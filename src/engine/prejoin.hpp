@@ -44,10 +44,17 @@ struct DimensionSpec {
 rel::Table prejoin(const rel::Table& fact, std::span<const DimensionSpec> dims,
                    std::string name = "prejoined");
 
-/// Statistics of one PIM UPDATE (Algorithm 1).
+/// Statistics of one PIM UPDATE (Algorithm 1). Energy, peak power, and
+/// wear account with the same trackers the query path uses, so the HTAP
+/// benches can put reads and writes on one axis.
 struct UpdateStats {
   TimeNs total_ns = 0;
   EnergyJ energy_j = 0;
+  EnergyJ energy_logic_j = 0;
+  EnergyJ energy_write_j = 0;
+  EnergyJ energy_controller_j = 0;
+  PowerW peak_chip_w = 0;             ///< peak power of one PIM chip
+  std::uint64_t wear_row_writes = 0;  ///< worst per-row write cycles
   std::size_t cycles = 0;          ///< bulk-bitwise cycles executed per page
   std::size_t updated_records = 0;
   std::size_t host_lines_read = 0; ///< always 0 — the point of Algorithm 1
@@ -61,6 +68,19 @@ struct UpdateStats {
 /// a filter program computes the select bit, then the MUX of Algorithm 1
 /// overwrites the attribute only where selected. The predicates and the
 /// updated attribute must live in the same part.
+///
+/// The new value is validated through the attribute's encoding: a
+/// dictionary-encoded attribute rejects codes outside the dictionary even
+/// when they fit the field's raw bit width (such a write would produce
+/// records no decode can read), and integer attributes reject values beyond
+/// the packed width.
+///
+/// Mutation protocol: the caller must hold the store's mutation lock
+/// (PimStore::lock_mutation; asserted in debug builds). On a successful
+/// update that changed at least one record, the store's cached derivations
+/// are refreshed via PimStore::note_mutation. The db facade routes every
+/// SQL UPDATE through the Database-level writer gate, which additionally
+/// excludes in-flight reads on the same table.
 UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
                        const std::vector<sql::BoundPredicate>& where,
                        std::size_t attr, std::uint64_t new_value);

@@ -1250,12 +1250,13 @@ QueryOutput Execution::run() {
   }
 
   stats_.total_ns = clock_;
-  stats_.energy_j = meter_.total();
-  stats_.energy_logic_j = meter_.of(pim::EnergyCat::kLogic);
-  stats_.energy_read_j = meter_.of(pim::EnergyCat::kRead);
-  stats_.energy_write_j = meter_.of(pim::EnergyCat::kWrite);
-  stats_.energy_controller_j = meter_.of(pim::EnergyCat::kController);
-  stats_.energy_agg_circuit_j = meter_.of(pim::EnergyCat::kAggCircuit);
+  const pim::EnergyBreakdown energy = pim::energy_breakdown(meter_);
+  stats_.energy_j = energy.total;
+  stats_.energy_logic_j = energy.logic;
+  stats_.energy_read_j = energy.read;
+  stats_.energy_write_j = energy.write;
+  stats_.energy_controller_j = energy.controller;
+  stats_.energy_agg_circuit_j = energy.agg_circuit;
   stats_.peak_chip_w = tracker_.peak_module_w() / cfg_.chips;
   stats_.wear_row_writes = store_.module().max_row_writes();
 

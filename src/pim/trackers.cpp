@@ -5,6 +5,17 @@
 
 namespace bbpim::pim {
 
+EnergyBreakdown energy_breakdown(const EnergyMeter& meter) {
+  EnergyBreakdown b;
+  b.total = meter.total();
+  b.logic = meter.of(EnergyCat::kLogic);
+  b.read = meter.of(EnergyCat::kRead);
+  b.write = meter.of(EnergyCat::kWrite);
+  b.controller = meter.of(EnergyCat::kController);
+  b.agg_circuit = meter.of(EnergyCat::kAggCircuit);
+  return b;
+}
+
 void PowerTracker::add_interval(TimeNs start_ns, TimeNs end_ns, PowerW watts) {
   if (end_ns < start_ns) {
     throw std::invalid_argument("PowerTracker: negative interval");

@@ -69,6 +69,21 @@ class EnergyMeter {
   std::vector<Entry> log_;
 };
 
+/// Category totals of one meter in a single struct — the export format the
+/// engine's QueryStats and UpdateStats share, so new accounting consumers
+/// (the UPDATE path, future request classes) cannot drift from the query
+/// path's category mapping.
+struct EnergyBreakdown {
+  EnergyJ total = 0;
+  EnergyJ logic = 0;
+  EnergyJ read = 0;
+  EnergyJ write = 0;
+  EnergyJ controller = 0;
+  EnergyJ agg_circuit = 0;
+};
+
+EnergyBreakdown energy_breakdown(const EnergyMeter& meter);
+
 /// Sweep-line peak power over recorded activity intervals.
 ///
 /// Pages are striped uniformly across all chips, so per-chip power is the

@@ -69,4 +69,22 @@ struct SelectStmt {
   std::vector<OrderItem> order_by;
 };
 
+/// UPDATE <table> SET <column> = <literal> [WHERE <conjunction>].
+/// The single-assignment form is exactly what Algorithm 1 executes in PIM:
+/// one attribute, one new value, a filter selecting the rows to rewrite.
+struct UpdateStmt {
+  std::string table;
+  std::string column;
+  Literal value;
+  std::vector<Predicate> where;  ///< implicit conjunction
+};
+
+/// One parsed statement of either kind (what Session::prepare consumes).
+struct Statement {
+  enum class Kind : std::uint8_t { kSelect, kUpdate };
+  Kind kind = Kind::kSelect;
+  SelectStmt select;  ///< kSelect only
+  UpdateStmt update;  ///< kUpdate only
+};
+
 }  // namespace bbpim::sql

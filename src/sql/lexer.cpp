@@ -7,9 +7,10 @@
 namespace bbpim::sql {
 namespace {
 
-const std::array<std::string_view, 16> kKeywords = {
-    "SELECT", "FROM", "WHERE",   "AND", "GROUP", "BY",  "ORDER", "ASC",
-    "DESC",   "AS",   "BETWEEN", "IN",  "SUM",   "MIN", "MAX",   "COUNT"};
+const std::array<std::string_view, 18> kKeywords = {
+    "SELECT", "FROM", "WHERE",   "AND", "GROUP",  "BY",  "ORDER",
+    "ASC",    "DESC", "AS",      "IN",  "SUM",    "MIN", "MAX",
+    "COUNT",  "SET",  "BETWEEN", "UPDATE"};
 
 bool is_keyword(std::string_view upper) {
   for (std::string_view k : kKeywords) {

@@ -296,4 +296,52 @@ BoundQuery bind(const SelectStmt& stmt, const rel::Schema& schema) {
   return q;
 }
 
+BoundUpdate bind_update(const UpdateStmt& stmt, const rel::Schema& schema) {
+  BoundUpdate u;
+  u.attr = resolve(schema, stmt.column);
+  const rel::Attribute& a = schema.attribute(u.attr);
+
+  // SET value through the attribute's encoding. Unlike WHERE literals —
+  // where an absent dictionary value folds to kNever — an unencodable SET
+  // value is an error: writing it would produce records no decode can read.
+  if (a.type == rel::DataType::kInt) {
+    if (stmt.value.kind != Literal::Kind::kInt) {
+      fail("string value assigned to integer column '" + a.name + "'");
+    }
+    if (stmt.value.int_value < 0 ||
+        static_cast<std::uint64_t>(stmt.value.int_value) > domain_max(a)) {
+      fail("value " + std::to_string(stmt.value.int_value) +
+           " outside the domain of column '" + a.name + "'");
+    }
+    u.value = static_cast<std::uint64_t>(stmt.value.int_value);
+  } else {
+    if (stmt.value.kind != Literal::Kind::kString) {
+      fail("integer value assigned to string column '" + a.name + "'");
+    }
+    const auto code = a.dict->code(stmt.value.str_value);
+    if (!code) {
+      fail("value '" + stmt.value.str_value +
+           "' has no dictionary code for column '" + a.name + "'");
+    }
+    u.value = *code;
+  }
+
+  for (const Predicate& p : stmt.where) {
+    switch (p.kind) {
+      case Predicate::Kind::kJoinEq:
+        fail("UPDATE does not support join predicates");
+      case Predicate::Kind::kCmp:
+        u.filters.push_back(bind_cmp(schema, p));
+        break;
+      case Predicate::Kind::kBetween:
+        u.filters.push_back(bind_between(schema, p));
+        break;
+      case Predicate::Kind::kIn:
+        u.filters.push_back(bind_in(schema, p));
+        break;
+    }
+  }
+  return u;
+}
+
 }  // namespace bbpim::sql

@@ -80,4 +80,21 @@ struct BoundQuery {
 /// than one aggregate, or aggregates mixed with non-grouped columns.
 BoundQuery bind(const SelectStmt& stmt, const rel::Schema& schema);
 
+/// A bound UPDATE: the target attribute, the new value as an attribute code,
+/// and the WHERE conjunction in the same normalized form SELECTs use. This
+/// is the unit the db facade's per-table update log stores and replays, so
+/// it must be self-contained and schema-relative (no table pointers).
+struct BoundUpdate {
+  std::size_t attr = 0;
+  std::uint64_t value = 0;  ///< encoded (dictionary code for strings)
+  std::vector<BoundPredicate> filters;  ///< conjunction
+};
+
+/// Binds an UPDATE against the schema. The SET value is validated through
+/// the attribute's encoding: a string with no dictionary code, a negative
+/// integer, or an integer outside the attribute's packed-bit domain is
+/// rejected with std::invalid_argument — never silently written as an
+/// undecodable record. Join predicates in the WHERE clause are rejected.
+BoundUpdate bind_update(const UpdateStmt& stmt, const rel::Schema& schema);
+
 }  // namespace bbpim::sql

@@ -40,6 +40,27 @@ class Parser {
     return stmt;
   }
 
+  UpdateStmt parse_update() {
+    expect_keyword("UPDATE");
+    UpdateStmt stmt;
+    stmt.table = expect_ident();
+    expect_keyword("SET");
+    stmt.column = expect_ident();
+    expect(TokKind::kEq, "'='");
+    stmt.value = parse_literal();
+    if (accept_keyword("WHERE")) {
+      stmt.where.push_back(parse_predicate());
+      while (accept_keyword("AND")) stmt.where.push_back(parse_predicate());
+    }
+    accept(TokKind::kSemi);
+    if (cur().kind != TokKind::kEnd) fail("trailing tokens");
+    return stmt;
+  }
+
+  bool starts_update() const {
+    return cur().kind == TokKind::kKeyword && cur().text == "UPDATE";
+  }
+
  private:
   const Token& cur() const { return toks_[pos_]; }
 
@@ -214,5 +235,22 @@ class Parser {
 }  // namespace
 
 SelectStmt parse(std::string_view sql) { return Parser(sql).parse_select(); }
+
+UpdateStmt parse_update(std::string_view sql) {
+  return Parser(sql).parse_update();
+}
+
+Statement parse_statement(std::string_view sql) {
+  Parser parser(sql);
+  Statement stmt;
+  if (parser.starts_update()) {
+    stmt.kind = Statement::Kind::kUpdate;
+    stmt.update = parser.parse_update();
+  } else {
+    stmt.kind = Statement::Kind::kSelect;
+    stmt.select = parser.parse_select();
+  }
+  return stmt;
+}
 
 }  // namespace bbpim::sql

@@ -8,7 +8,14 @@
 namespace bbpim::sql {
 
 /// Parses one SELECT statement; throws std::invalid_argument with offset
-/// information on syntax errors.
+/// information on syntax errors (including for UPDATE input — callers that
+/// accept both kinds use parse_statement).
 SelectStmt parse(std::string_view sql);
+
+/// Parses one UPDATE <table> SET <col> = <literal> [WHERE ...] statement.
+UpdateStmt parse_update(std::string_view sql);
+
+/// Parses either statement kind, dispatching on the leading keyword.
+Statement parse_statement(std::string_view sql);
 
 }  // namespace bbpim::sql

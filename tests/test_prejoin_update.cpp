@@ -1,6 +1,8 @@
 // Tests for pre-joining (Section III) and the Algorithm-1 PIM UPDATE.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "engine/prejoin.hpp"
 #include "engine_test_util.hpp"
 
@@ -84,13 +86,23 @@ TEST(PimUpdate, Algorithm1UpdatesSelectedRowsOnly) {
     expected_updates += fx.table->value(r, 4) == 2;
   }
 
-  const UpdateStats stats =
-      pim_update(*fx.store, fx.hcfg, q.filters, 4, 6);
+  const UpdateStats stats = [&] {
+    const auto lock = fx.store->lock_mutation();
+    return pim_update(*fx.store, fx.hcfg, q.filters, 4, 6);
+  }();
   EXPECT_EQ(stats.updated_records, expected_updates);
   EXPECT_EQ(stats.host_lines_read, 0u);  // the whole point of Algorithm 1
   EXPECT_GT(stats.total_ns, 0.0);
   EXPECT_GT(stats.energy_j, 0.0);
+  // Algorithm 1 is pure in-array logic: all dynamic energy is MAGIC cycles
+  // (plus controllers), never host-side column writes.
+  EXPECT_GT(stats.energy_logic_j, 0.0);
+  EXPECT_EQ(stats.energy_write_j, 0.0);
+  EXPECT_GT(stats.energy_controller_j, 0.0);
+  EXPECT_GT(stats.peak_chip_w, 0.0);
+  EXPECT_GT(stats.wear_row_writes, 0u);
   EXPECT_GT(stats.host_path_estimate_ns, 0.0);
+  EXPECT_EQ(fx.store->data_version(), 1u);  // one mutation noted
 
   // Functional verification: old value gone, new value where expected.
   for (std::size_t r = 0; r < fx.table->row_count(); ++r) {
@@ -102,25 +114,78 @@ TEST(PimUpdate, Algorithm1UpdatesSelectedRowsOnly) {
 
 TEST(PimUpdate, ValueOverflowAndCrossPartRejected) {
   testutil::EngineFixture fx(engine::EngineKind::kOneXb, 300, 62);
-  EXPECT_THROW(pim_update(*fx.store, fx.hcfg, {}, 4, 8),  // 3-bit attr
-               std::invalid_argument);
+  {
+    const auto lock = fx.store->lock_mutation();
+    EXPECT_THROW(pim_update(*fx.store, fx.hcfg, {}, 4, 8),  // 3-bit attr
+                 std::invalid_argument);
+  }
 
   testutil::EngineFixture two(engine::EngineKind::kTwoXb, 300, 62);
   const sql::BoundQuery q = two.bind_sql(
       "SELECT SUM(f_val) FROM t WHERE f_key < 100");  // predicate on part 0
-  EXPECT_THROW(pim_update(*two.store, two.hcfg, q.filters, 4, 1),  // attr on 1
-               std::invalid_argument);
+  {
+    const auto lock = two.store->lock_mutation();
+    EXPECT_THROW(pim_update(*two.store, two.hcfg, q.filters, 4, 1),  // on 1
+                 std::invalid_argument);
+  }
+}
+
+TEST(PimUpdate, UndecodableDictionaryCodeRejected) {
+  // d_color's dictionary has 8 values (codes 0..7) packed into 3 bits; a
+  // dictionary of 6 would accept code 7 by raw width alone. Shrink the
+  // domain to expose the gap between field width and encoding.
+  auto dict = std::make_shared<const rel::Dictionary>(
+      rel::Dictionary::from_values({"red", "green", "blue", "black", "white",
+                                    "cyan"}));
+  rel::Table t(rel::Schema({{"key", rel::DataType::kInt, 8, nullptr},
+                            {"color", rel::DataType::kString, 3, dict}}),
+               "paints");
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const std::uint64_t row[] = {i, i % 6};
+    t.append_row(row);
+  }
+  pim::PimModule module(testutil::small_pim_config());
+  engine::PimStore store(module, t);
+  const host::HostConfig hcfg;
+  const auto lock = store.lock_mutation();
+  // Codes 6 and 7 fit the 3-bit field but decode to nothing.
+  EXPECT_THROW(pim_update(store, hcfg, {}, 1, 6), std::invalid_argument);
+  EXPECT_THROW(pim_update(store, hcfg, {}, 1, 7), std::invalid_argument);
+  // A valid code is accepted.
+  const UpdateStats st = pim_update(store, hcfg, {}, 1, 5);
+  EXPECT_EQ(st.updated_records, 64u);
 }
 
 TEST(PimUpdate, NoMatchIsNoOp) {
   testutil::EngineFixture fx(engine::EngineKind::kOneXb, 300, 63);
   sql::BoundPredicate never;
   never.kind = sql::BoundPredicate::Kind::kNever;
+  const auto lock = fx.store->lock_mutation();
   const UpdateStats stats = pim_update(*fx.store, fx.hcfg, {never}, 4, 5);
   EXPECT_EQ(stats.updated_records, 0u);
+  EXPECT_EQ(fx.store->data_version(), 0u);  // nothing changed, caches warm
   for (std::size_t r = 0; r < fx.table->row_count(); ++r) {
     EXPECT_EQ(fx.store->read_attr(r, 4), fx.table->value(r, 4));
   }
+}
+
+TEST(PimUpdate, MutationRefreshesDistinctStats) {
+  testutil::EngineFixture fx(engine::EngineKind::kOneXb, 400, 64);
+  // d_tag holds gid % 7, so 7 never occurs and fits the 3-bit field.
+  const auto& before = fx.store->distinct_values(4);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_TRUE(std::find(before->begin(), before->end(), 7u) == before->end());
+
+  const sql::BoundQuery q = fx.bind_sql("SELECT SUM(f_val) FROM t WHERE d_tag = 2");
+  {
+    const auto lock = fx.store->lock_mutation();
+    pim_update(*fx.store, fx.hcfg, q.filters, 4, 7);
+  }
+  const auto& after = fx.store->distinct_values(4);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(std::find(after->begin(), after->end(), 7u) != after->end());
+  EXPECT_TRUE(std::find(after->begin(), after->end(), 2u) == after->end());
+  EXPECT_GE(fx.store->filter_cache().invalidation_count(), 1u);
 }
 
 }  // namespace

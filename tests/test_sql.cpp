@@ -205,5 +205,73 @@ TEST(BoundAggExprTest, EvalWrapsExactly) {
   EXPECT_EQ(e.eval(7, 6), 42u);
 }
 
+TEST(Parser, UpdateShape) {
+  const UpdateStmt u = parse_update(
+      "UPDATE t SET s = 'beta' WHERE k >= 5 AND w BETWEEN 1 AND 3;");
+  EXPECT_EQ(u.table, "t");
+  EXPECT_EQ(u.column, "s");
+  EXPECT_EQ(u.value.kind, Literal::Kind::kString);
+  EXPECT_EQ(u.value.str_value, "beta");
+  ASSERT_EQ(u.where.size(), 2u);
+  EXPECT_EQ(u.where[0].kind, Predicate::Kind::kCmp);
+  EXPECT_EQ(u.where[1].kind, Predicate::Kind::kBetween);
+
+  // WHERE is optional; integer values parse.
+  const UpdateStmt all = parse_update("UPDATE t SET w = 3");
+  EXPECT_TRUE(all.where.empty());
+  EXPECT_EQ(all.value.int_value, 3);
+}
+
+TEST(Parser, ParseStatementDispatches) {
+  const Statement sel = parse_statement("SELECT SUM(v) FROM t");
+  EXPECT_EQ(sel.kind, Statement::Kind::kSelect);
+  const Statement upd = parse_statement("UPDATE t SET w = 1 WHERE k = 2");
+  EXPECT_EQ(upd.kind, Statement::Kind::kUpdate);
+  // parse() remains SELECT-only.
+  EXPECT_THROW(parse("UPDATE t SET w = 1"), std::invalid_argument);
+}
+
+TEST(Parser, UpdateSyntaxErrors) {
+  EXPECT_THROW(parse_update("UPDATE t w = 1"), std::invalid_argument);
+  EXPECT_THROW(parse_update("UPDATE t SET w 1"), std::invalid_argument);
+  EXPECT_THROW(parse_update("UPDATE t SET w = x"), std::invalid_argument);
+  EXPECT_THROW(parse_update("UPDATE t SET w = 1 2"), std::invalid_argument);
+}
+
+TEST(Binder, BindsUpdateThroughEncoding) {
+  const rel::Schema schema = test_schema();
+  const BoundUpdate u = bind_update(
+      parse_update("UPDATE t SET s = 'gamma' WHERE s = 'beta' AND k < 9"),
+      schema);
+  EXPECT_EQ(u.attr, 3u);
+  EXPECT_EQ(u.value, 3u);  // 'gamma' sorts after 'delta'
+  ASSERT_EQ(u.filters.size(), 2u);
+  EXPECT_EQ(u.filters[0].kind, BoundPredicate::Kind::kEq);
+  EXPECT_EQ(u.filters[0].v1, 1u);  // 'beta'
+}
+
+TEST(Binder, UpdateRejectsUnencodableValues) {
+  const rel::Schema schema = test_schema();
+  // A string with no dictionary code is an error for SET (not kNever like
+  // WHERE literals): it would write an undecodable record.
+  EXPECT_THROW(bind_update(parse_update("UPDATE t SET s = 'zeta'"), schema),
+               std::invalid_argument);
+  // Type mismatches both ways.
+  EXPECT_THROW(bind_update(parse_update("UPDATE t SET s = 3"), schema),
+               std::invalid_argument);
+  EXPECT_THROW(bind_update(parse_update("UPDATE t SET w = 'beta'"), schema),
+               std::invalid_argument);
+  // Out of the 8-bit packed domain of w.
+  EXPECT_THROW(bind_update(parse_update("UPDATE t SET w = 256"), schema),
+               std::invalid_argument);
+  // Join predicates make no sense in this UPDATE subset.
+  EXPECT_THROW(
+      bind_update(parse_update("UPDATE t SET w = 1 WHERE k = v"), schema),
+      std::invalid_argument);
+  // Unknown column.
+  EXPECT_THROW(bind_update(parse_update("UPDATE t SET nope = 1"), schema),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace bbpim::sql
