@@ -107,6 +107,17 @@ const std::vector<QueryRun>& BenchWorld::run_all() {
     run.pimdb = stmt.execute(db::BackendKind::kPimdb).output();
     run.mnt_join = monet_->execute_prejoined(stmt.bound());
     run.mnt_reg = monet_->execute_star(stmt.bound());
+    if (cfg_.verbose) {
+      // FilterCache and zone-map effectiveness of the one-xb run (the
+      // counters are all-zero unless ExecOptions::prune was on).
+      const engine::QueryStats& s = run.one_xb.stats;
+      std::cerr << "[bench]   filter-cache hits/misses="
+                << s.filter_cache_hits << "/" << s.filter_cache_misses
+                << ", crossbars skipped=" << s.crossbars_skipped
+                << " (pages " << s.pages_skipped << "+"
+                << s.group_pages_skipped << " gb), predicates short-circuited="
+                << s.predicates_short_circuited << "\n";
+    }
     runs_.push_back(std::move(run));
   }
   return runs_;

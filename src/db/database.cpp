@@ -138,9 +138,7 @@ TableWrites& Database::writes(const rel::Table& table) {
 }
 
 std::uint64_t Database::update_version(const rel::Table& table) {
-  TableWrites& w = writes(table);
-  std::shared_lock gate(w.gate);
-  return w.log.size();
+  return writes(table).committed.load(std::memory_order_acquire);
 }
 
 Session Database::connect() { return Session(*this); }

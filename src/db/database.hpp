@@ -52,12 +52,22 @@ struct LoadPolicy {
 ///     first k entries is at data version k; executors replay the missing
 ///     suffix into their own store before executing (lazy catch-up), so a
 ///     store built or idle while updates landed converges deterministically.
+///   - `committed` mirrors log.size() atomically (bumped after the append,
+///     still under the exclusive gate). It exists so a reader whose private
+///     store is already current can see that WITHOUT touching the gate: the
+///     read then proceeds gate-free — its store needs no replay and no other
+///     session's update can touch it — which removes the reader-side
+///     shared-lock contention that made read-mostly HTAP scaling negative.
+///     A reader that observes a stale `committed` simply serializes before
+///     the in-flight update, exactly like a reader that grabbed the shared
+///     gate first.
 ///
 /// Guarded by `gate`: read `log` under a shared lock, append under an
-/// exclusive one.
+/// exclusive one. `committed` is lock-free.
 struct TableWrites {
   mutable std::shared_mutex gate;
   std::vector<sql::BoundUpdate> log;
+  std::atomic<std::uint64_t> committed{0};
 };
 
 /// Thread-safe: catalog lookups take a shared lock, mutations an exclusive

@@ -73,6 +73,20 @@ class ResultSet {
     return update_stats_ ? update_stats_->updated_records : 0;
   }
 
+  // --- zone-map pruning effectiveness (0 for UPDATEs / host baselines) ----
+  /// Pages the filter phase skipped outright via zone-map sketches.
+  std::size_t pages_skipped() const {
+    return is_update() ? 0 : out_.stats.pages_skipped;
+  }
+  /// Valid crossbars inside those pages.
+  std::size_t crossbars_skipped() const {
+    return is_update() ? 0 : out_.stats.crossbars_skipped;
+  }
+  /// (predicate, page) evaluations resolved statically.
+  std::size_t predicates_short_circuited() const {
+    return is_update() ? 0 : out_.stats.predicates_short_circuited;
+  }
+
   /// Target-table data version this execution observed: the number of
   /// committed updates replayed into the executing store (for an UPDATE,
   /// including itself — its position in the table's update log). 0 for

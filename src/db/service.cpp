@@ -160,7 +160,9 @@ void QueryService::warm_up(BackendKind backend) {
         // barrier would otherwise park its siblings forever.
         std::exception_ptr error;
         try {
-          session.executor(backend);  // first touch: PIM store load
+          // First touch: PIM store load, then catch-up replay of any
+          // committed updates — both outside the caller's timed region.
+          session.executor(backend).warm();
           if (const auto kind = engine_kind_of(backend)) {
             session.models(*kind);  // fit-once across the pool
           }

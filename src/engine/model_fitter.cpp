@@ -145,6 +145,10 @@ std::uint64_t config_fingerprint(const pim::PimConfig& cfg,
   // FNV-1a over a canonical textual dump of every field either latency
   // model depends on. Text (max precision) sidesteps double-representation
   // pitfalls while staying stable across platforms and runs.
+  // Deliberately excluded: HostConfig::sim_threads (simulation speed only)
+  // and HostConfig::prune (zone-map pruning never changes the modeled
+  // per-page cost of a page that executes, so fitted models stay valid
+  // with it on or off).
   std::ostringstream dump;
   dump.precision(17);
   dump << cfg.crossbar_rows << ' ' << cfg.crossbar_cols << ' '

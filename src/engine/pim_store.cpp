@@ -53,6 +53,27 @@ PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
 
   for (int part = 0; part < parts(); ++part) load_part(part);
 
+  // Zone-map sketches, accumulated from the backing table (record r lives
+  // in crossbar r / rows; the partial last crossbar's sketch covers only
+  // its valid records).
+  rows_per_crossbar_ = cfg.crossbar_rows;
+  {
+    std::vector<std::uint32_t> attr_bits;
+    attr_bits.reserve(nattrs);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+      attr_bits.push_back(schema.attribute(a).bits);
+    }
+    const std::size_t crossbars =
+        pages_per_part_ * cfg.crossbars_per_page;
+    zones_ = ZoneMaps(crossbars, attr_bits);
+    for (std::size_t a = 0; a < nattrs; ++a) {
+      const std::vector<std::uint64_t>& col = table.column(a);
+      for (std::size_t r = 0; r < records_; ++r) {
+        zones_.add(a, r / rows_per_crossbar_, col[r]);
+      }
+    }
+  }
+
   // Distinct stats for GROUP-BY candidate enumeration.
   max_distinct_ = opt.max_distinct;
   attr_mutated_.assign(nattrs, false);
@@ -212,12 +233,49 @@ std::uint64_t PimStore::contents_checksum() const {
   return h;
 }
 
-void PimStore::note_mutation(std::size_t attr) {
+void PimStore::rebuild_zone_crossbar(std::size_t attr,
+                                     std::size_t crossbar) const {
+  zones_.clear(attr, crossbar);
+  const std::size_t first = crossbar * rows_per_crossbar_;
+  const std::size_t last =
+      std::min<std::size_t>(first + rows_per_crossbar_, records_);
+  for (std::size_t r = first; r < last; ++r) {
+    zones_.add(attr, crossbar, read_attr(r, attr));
+  }
+}
+
+const ZoneMaps& PimStore::zone_maps() const {
+  if (zones_.any_stale()) {
+    for (std::size_t a = 0; a < zones_.attr_count(); ++a) {
+      if (!zones_.stale(a)) continue;
+      for (std::size_t x = 0; x < zones_.crossbar_count(); ++x) {
+        rebuild_zone_crossbar(a, x);
+      }
+      zones_.clear_stale(a);
+    }
+  }
+  return zones_;
+}
+
+void PimStore::note_mutation(std::size_t attr,
+                             const std::vector<std::uint32_t>* touched_crossbars) {
   assert(mutation_locked_by_caller() &&
          "PimStore::note_mutation requires the mutation lock");
   attr_mutated_.at(attr) = true;
   distinct_stale_.at(attr) = true;
   data_version_.fetch_add(1, std::memory_order_acq_rel);
+
+  // Zone sketches: rebuild exactly the crossbars the mutation touched when
+  // the caller knows them (pim_update popcounts the select column per
+  // crossbar anyway); an attribute already marked stale keeps its lazy
+  // full rebuild — a partial refresh could not clear it.
+  if (touched_crossbars != nullptr && !zones_.stale(attr)) {
+    for (const std::uint32_t x : *touched_crossbars) {
+      rebuild_zone_crossbar(attr, x);
+    }
+  } else {
+    zones_.mark_stale(attr);
+  }
 
   // Derived-statistics caches involving the attribute are stale; drop them
   // so the next consumer recomputes from current data (current_value reads

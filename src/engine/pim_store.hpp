@@ -24,6 +24,7 @@
 
 #include "engine/filter_compiler.hpp"
 #include "engine/layout.hpp"
+#include "engine/zone_map.hpp"
 #include "pim/module.hpp"
 #include "relational/table.hpp"
 
@@ -104,6 +105,15 @@ class PimStore {
   /// prepared-statement executions skip recompilation).
   FilterCache& filter_cache() { return filter_cache_; }
 
+  /// Zone-map sketches: per (attribute, crossbar) min/max code plus a
+  /// distinct-code bitmap for low-cardinality attributes. Built from the
+  /// backing table at load time; kept exact across in-place mutation
+  /// (pim_update refreshes the touched crossbars incrementally, and any
+  /// attribute marked stale by a blanket note_mutation is rebuilt from the
+  /// crossbars here, on first access). Crossbar index = record / rows —
+  /// parts share coordinates, so one index space covers both layouts.
+  const ZoneMaps& zone_maps() const;
+
   // --- mutation (Algorithm-1 UPDATE) ---------------------------------------
   // Crossbar data can be rewritten in place (engine::pim_update). Everything
   // this store caches about the data — distinct-value stats, functional
@@ -159,13 +169,24 @@ class PimStore {
   /// crossbars, drops the functional-dependency and co-occurrence cache
   /// entries that involve the attribute, and invalidates the compiled-filter
   /// cache for the attribute's part. Caller must hold the mutation lock.
-  void note_mutation(std::size_t attr);
+  ///
+  /// `touched_crossbars` (global crossbar indices whose rows were rewritten)
+  /// enables incremental zone-map maintenance: only those sketches are
+  /// rebuilt, exactly, from the crossbars. Passing nullptr marks the whole
+  /// attribute's sketches stale for a lazy full rebuild on next access —
+  /// sound either way, a query can never observe a sketch that is narrower
+  /// than the stored data.
+  void note_mutation(std::size_t attr,
+                     const std::vector<std::uint32_t>* touched_crossbars =
+                         nullptr);
 
  private:
   void load_part(int part);
   /// Current value of one attribute of one record: the crossbars once the
   /// attribute was mutated, the (cheaper) backing table column before.
   std::uint64_t current_value(std::size_t record, std::size_t attr) const;
+  /// Exact sketch rebuild of one (attr, crossbar) from the crossbar data.
+  void rebuild_zone_crossbar(std::size_t attr, std::size_t crossbar) const;
 
   pim::PimModule* module_;
   const rel::Table* table_;
@@ -186,6 +207,10 @@ class PimStore {
                    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>>
       co_cache_;
   FilterCache filter_cache_;
+  /// Lazily rebuilt for attributes marked stale (see zone_maps), hence
+  /// mutable.
+  mutable ZoneMaps zones_;
+  std::uint32_t rows_per_crossbar_ = 0;
 
   std::size_t max_distinct_ = 0;      ///< Options::max_distinct (for refresh)
   std::vector<bool> attr_mutated_;    ///< attr diverged from the table column

@@ -130,11 +130,20 @@ UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
   pim::PowerTracker tracker;
   std::vector<pim::RequestTrace> traces;
   std::size_t updated = 0;
+  // Crossbars with at least one rewritten row: the zone-map sketches of
+  // exactly these are rebuilt below (incremental maintenance).
+  std::vector<std::uint32_t> touched_crossbars;
   for (std::size_t p = 0; p < store.pages_per_part(); ++p) {
     pim::Page& page = store.page(part, p);
     traces.push_back(pim::execute_program(page, program, cfg, &meter));
     for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
-      updated += page.crossbar(x).column(filter.result_col).popcount();
+      const std::size_t selected =
+          page.crossbar(x).column(filter.result_col).popcount();
+      if (selected > 0) {
+        touched_crossbars.push_back(
+            static_cast<std::uint32_t>(p * cfg.crossbars_per_page + x));
+      }
+      updated += selected;
     }
   }
   host::ScheduleParams params;
@@ -167,10 +176,11 @@ UpdateStats pim_update(PimStore& store, const host::HostConfig& hcfg,
   alloc.release(filter.result_col);
 
   // Cached derivations of store contents (distinct stats, FD/co-occurrence
-  // maps, compiled-filter programs of this part) observed old data; refresh
-  // them while the mutation lock is still held. A no-match update changed
-  // nothing, so its caches stay warm.
-  if (updated > 0) store.note_mutation(attr);
+  // maps, compiled-filter programs of this part, zone-map sketches of the
+  // touched crossbars) observed old data; refresh them while the mutation
+  // lock is still held. A no-match update changed nothing, so its caches
+  // stay warm.
+  if (updated > 0) store.note_mutation(attr, &touched_crossbars);
   return stats;
 }
 

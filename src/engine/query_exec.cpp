@@ -68,10 +68,28 @@ class Execution {
         q_(q),
         opts_(opts),
         sim_threads_(resolve_threads(opts.sim_threads.value_or(hcfg.sim_threads))),
-        vectorized_(!opts.sim_scalar) {
+        vectorized_(!opts.sim_scalar),
+        prune_(opts.prune.value_or(hcfg.prune)) {
     for (int part = 0; part < store_.parts(); ++part) {
       allocs_.push_back(store_.layout(part).make_alloc());
     }
+    // Selectivity-ordered execution: predicates compile most-selective
+    // first (sketch-estimated; deterministic). AND is commutative and each
+    // predicate costs the same cycles at any position, so rows and modeled
+    // stats are unchanged — the order is what EXPLAIN shows and what the
+    // zone-map classifier meets first.
+    filters_ = order_by_selectivity(q.filters, store);
+    all_pages_.resize(store.pages_per_part());
+    for (std::size_t p = 0; p < all_pages_.size(); ++p) all_pages_[p] = p;
+    if (prune_) {
+      analysis_ = analyze_filters(filters_, store);
+      for (std::size_t p = 0; p < all_pages_.size(); ++p) {
+        if (!analysis_.page_skip[p]) active_pages_.push_back(p);
+      }
+    } else {
+      active_pages_ = all_pages_;
+    }
+    mask_ready_.assign(all_pages_.size(), 0);
   }
 
   QueryOutput run();
@@ -127,14 +145,18 @@ class Execution {
   }
 
   /// One program of a logic phase: the gate program (costed) plus its
-  /// optional word-level semantic twin (fast functional evaluation).
+  /// optional word-level semantic twin (fast functional evaluation), run on
+  /// `run_pages` (nullptr = every page).
   struct PhaseProg {
     int part;
     const pim::MicroProgram* prog;
     const pim::WordProgram* words = nullptr;
+    const std::vector<std::size_t>* run_pages = nullptr;
   };
 
-  /// Runs a micro-program on every page of selected parts as one phase.
+  /// Runs a micro-program on the selected pages of selected parts as one
+  /// phase. Pages absent from a program's run list get no request, no
+  /// modeled cost, and no functional effect — zone-map pruning in action.
   void logic_phase(const std::vector<PhaseProg>& part_programs, TimeNs* slot) {
     struct Job {
       const PhaseProg* pp;
@@ -143,7 +165,9 @@ class Execution {
     std::vector<Job> jobs;
     for (const PhaseProg& pp : part_programs) {
       if (pp.prog == nullptr || pp.prog->empty()) continue;
-      for (std::size_t p = 0; p < pages(); ++p) jobs.push_back({&pp, p});
+      const std::vector<std::size_t>& run =
+          pp.run_pages != nullptr ? *pp.run_pages : all_pages_;
+      for (const std::size_t p : run) jobs.push_back({&pp, p});
     }
     if (jobs.empty()) return;
     std::vector<pim::RequestTrace> traces(jobs.size());
@@ -156,13 +180,20 @@ class Execution {
     schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
   }
 
-  /// Reads one bit column of every page of a part (host streaming reads).
-  std::vector<BitVec> read_column_phase(int part, std::uint16_t col,
-                                        TimeNs* slot) {
+  /// Reads one bit column of the listed pages of a part (host streaming
+  /// reads; nullptr = every page). The returned vector is indexed by page;
+  /// unread pages hold empty BitVecs — their select is statically empty, so
+  /// no readback is modeled (or performed) for them.
+  std::vector<BitVec> read_column_phase(
+      int part, std::uint16_t col, TimeNs* slot,
+      const std::vector<std::size_t>* pages_list = nullptr) {
+    const std::vector<std::size_t>& run =
+        pages_list != nullptr ? *pages_list : all_pages_;
     std::vector<BitVec> out(pages());
-    std::vector<pim::RequestTrace> traces(pages());
-    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter& meter) {
-      traces[p] =
+    std::vector<pim::RequestTrace> traces(run.size());
+    run_jobs(run.size(), [&](std::size_t i, pim::EnergyMeter& meter) {
+      const std::size_t p = run[i];
+      traces[i] =
           pim::read_bit_column(store_.page(part, p), col, hcfg_.line_stream_ns,
                                cfg_, &meter, &out[p], vectorized_);
     });
@@ -171,16 +202,61 @@ class Execution {
     return out;
   }
 
-  /// Writes per-page bit vectors into a column of a part (two-xb transfer).
+  /// Writes per-page bit vectors into a column of a part (two-xb transfer);
+  /// `bits` is indexed by page, only the listed pages are written.
   void write_column_phase(int part, std::uint16_t col,
-                          const std::vector<BitVec>& bits, TimeNs* slot) {
-    std::vector<pim::RequestTrace> traces(pages());
-    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter& meter) {
-      traces[p] = pim::write_bit_column(store_.page(part, p), col, bits[p],
+                          const std::vector<BitVec>& bits, TimeNs* slot,
+                          const std::vector<std::size_t>* pages_list = nullptr) {
+    const std::vector<std::size_t>& run =
+        pages_list != nullptr ? *pages_list : all_pages_;
+    std::vector<pim::RequestTrace> traces(run.size());
+    run_jobs(run.size(), [&](std::size_t i, pim::EnergyMeter& meter) {
+      const std::size_t p = run[i];
+      traces[i] = pim::write_bit_column(store_.page(part, p), col, bits[p],
                                         hcfg_.line_stream_ns, cfg_, &meter,
                                         vectorized_);
     });
     schedule_phase(traces, /*window=*/1, /*issue_gap=*/0.0, slot);
+  }
+
+  /// Host-known-constant column synthesis: functionally fills `col` of the
+  /// listed pages with a copy of the part's validity column. Used when the
+  /// zone-map analyzer proved the page's predicate subset always-true (the
+  /// select IS the validity column) and when zeroing the pim-gb mask on
+  /// pages a pruned subgroup never touched. The host knows these values
+  /// statically, so nothing is modeled: no request, no energy, no wear.
+  void synthesize_column(int part, std::uint16_t col,
+                         const std::vector<std::size_t>& pages_list,
+                         bool valid_copy) {
+    const std::uint16_t valid = store_.layout(part).valid_col();
+    for (const std::size_t p : pages_list) {
+      pim::Page& page = store_.page(part, p);
+      for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+        pim::Crossbar& xb = page.crossbar(x);
+        std::uint64_t* dst = xb.column_data_mut(col);
+        const std::uint32_t words = xb.words_per_column();
+        if (valid_copy) {
+          const std::uint64_t* src = xb.column_data(valid);
+          for (std::uint32_t w = 0; w < words; ++w) dst[w] = src[w];
+        } else {
+          for (std::uint32_t w = 0; w < words; ++w) dst[w] = 0;
+        }
+      }
+    }
+  }
+
+  /// Zeroes the pim-gb mask column on any listed page whose mask was never
+  /// initialized by a subgroup program (the subgroup's select is provably
+  /// empty there, so zero IS its value).
+  void ensure_mask_zero(const std::vector<std::size_t>& pages_list) {
+    std::vector<std::size_t> missing;
+    for (const std::size_t p : pages_list) {
+      if (!mask_ready_[p]) missing.push_back(p);
+    }
+    if (!missing.empty()) {
+      synthesize_column(0, mask_col_, missing, /*valid_copy=*/false);
+      for (const std::size_t p : missing) mask_ready_[p] = 1;
+    }
   }
 
   /// Charges a host read of `total_lines` result lines (streaming).
@@ -204,11 +280,14 @@ class Execution {
   void host_gb_phase();
   void finalize_phase();
 
-  /// Aggregates one pass over `select_col`; returns the combined value
-  /// across crossbars and pages (SUM adds, MIN/MAX fold); `out_count`
-  /// receives the circuit count when the pass carries it.
+  /// Aggregates one pass over `select_col` on the listed pages; returns the
+  /// combined value across crossbars and pages (SUM adds, MIN/MAX fold);
+  /// `out_count` receives the circuit count when the pass carries it.
+  /// Unlisted pages provably contribute the fold identity (their select is
+  /// statically empty), so skipping them is exact.
   std::uint64_t run_agg_pass(const AggPass& pass, std::uint16_t select_col,
-                             std::uint64_t* out_count, TimeNs* slot);
+                             std::uint64_t* out_count, TimeNs* slot,
+                             const std::vector<std::size_t>& on_pages);
 
   /// Aggregates one subgroup (all passes); returns {agg value, count}.
   std::pair<std::int64_t, std::uint64_t> aggregate_group(const GroupKey& key,
@@ -260,6 +339,13 @@ class Execution {
   std::vector<pim::ColumnAlloc> allocs_;
   unsigned sim_threads_ = 1;  ///< resolved simulation thread budget
   bool vectorized_ = true;    ///< fast kernels (off for the scalar baseline)
+  bool prune_ = false;        ///< zone-map data skipping for this execution
+  /// q_.filters reordered most-selective-first (what actually compiles).
+  std::vector<sql::BoundPredicate> filters_;
+  FilterPruneAnalysis analysis_;           ///< meaningful when prune_
+  std::vector<std::size_t> all_pages_;     ///< 0 .. pages()-1
+  std::vector<std::size_t> active_pages_;  ///< pages the filter executes on
+  std::vector<std::uint8_t> mask_ready_;   ///< mask_col_ initialized per page
   pim::EnergyMeter meter_;
   pim::PowerTracker tracker_;
   TimeNs clock_ = 0;
@@ -291,54 +377,105 @@ class Execution {
 // ---------------------------------------------------------------------------
 
 void Execution::filter_phase() {
+  if (prune_) {
+    stats_.pages_skipped = analysis_.pages_skipped;
+    stats_.pages_synthesized = analysis_.pages_synthesized;
+    stats_.crossbars_skipped = analysis_.crossbars_skipped;
+    stats_.predicates_short_circuited = analysis_.predicates_short_circuited;
+  }
+
   // Memoized compilation: the key covers (predicates, part, allocator
   // state), so repeated prepared-statement executions reuse the program and
   // only replay its result-column allocation. The scalar baseline compiles
   // from scratch, matching the pre-cache behavior it measures.
+  const std::size_t cache_h0 = store_.filter_cache().hit_count();
+  const std::size_t cache_m0 = store_.filter_cache().miss_count();
   std::vector<std::shared_ptr<const CompiledFilter>> compiled;
   for (int part = 0; part < store_.parts(); ++part) {
     if (vectorized_) {
       compiled.push_back(store_.filter_cache().get_or_compile(
-          q_.filters, part, store_.layout(part), alloc(part)));
+          filters_, part, store_.layout(part), alloc(part)));
     } else {
       compiled.push_back(std::make_shared<const CompiledFilter>(
-          compile_filter(q_.filters, store_.layout(part), alloc(part))));
+          compile_filter(filters_, store_.layout(part), alloc(part))));
+    }
+  }
+  if (vectorized_) {
+    stats_.filter_cache_hits = store_.filter_cache().hit_count() - cache_h0;
+    stats_.filter_cache_misses =
+        store_.filter_cache().miss_count() - cache_m0;
+  }
+
+  // Per-part gate-program page lists: active pages minus the pages whose
+  // part subset is provably always-true — those get the validity column
+  // synthesized into the result column instead (no gate program).
+  std::vector<std::vector<std::size_t>> run_pages(store_.parts());
+  // two-xb: when every active page of part 1 is synthesizable, its result
+  // column would be exactly the validity column, which part 0's program
+  // already folds in — the whole inter-part transfer is skipped.
+  const bool skip_transfer =
+      prune_ && store_.parts() == 2 &&
+      [&] {
+        for (const std::size_t p : active_pages_) {
+          if (!analysis_.page_synth[p][1]) return false;
+        }
+        return true;
+      }();
+  for (int part = 0; part < store_.parts(); ++part) {
+    if (part == 1 && skip_transfer) continue;  // program never needed
+    std::vector<std::size_t> synth;
+    for (const std::size_t p : active_pages_) {
+      if (prune_ && analysis_.page_synth[p][part]) {
+        synth.push_back(p);
+      } else {
+        run_pages[part].push_back(p);
+      }
+    }
+    if (!synth.empty()) {
+      synthesize_column(part, compiled[part]->result_col, synth,
+                        /*valid_copy=*/true);
     }
   }
   {
     std::vector<PhaseProg> progs;
     for (int part = 0; part < store_.parts(); ++part) {
-      progs.push_back(
-          {part, &compiled[part]->program, &compiled[part]->words});
+      if (part == 1 && skip_transfer) continue;
+      progs.push_back({part, &compiled[part]->program, &compiled[part]->words,
+                       &run_pages[part]});
     }
     logic_phase(progs, &stats_.phases.filter);
   }
 
   if (store_.parts() == 1) {
     r_col_ = compiled[0]->result_col;
+  } else if (skip_transfer) {
+    alloc(1).release(compiled[1]->result_col);
+    r_col_ = compiled[0]->result_col;
   } else {
     // two-xb: ship part 1's bits through the host and AND them into part 0.
     transfer_chunk_ = alloc(0).alloc_aligned_chunk(cfg_.read_bits);
-    const std::vector<BitVec> bits =
-        read_column_phase(1, compiled[1]->result_col, &stats_.phases.transfer);
+    const std::vector<BitVec> bits = read_column_phase(
+        1, compiled[1]->result_col, &stats_.phases.transfer, &active_pages_);
     write_column_phase(0, transfer_chunk_->offset, bits,
-                       &stats_.phases.transfer);
+                       &stats_.phases.transfer, &active_pages_);
     pim::ProgramBuilder pb(alloc(0));
     const std::uint16_t combined =
         pb.emit_and(compiled[0]->result_col, transfer_chunk_->offset);
     const pim::WordProgram wp = {pim::WordOp::and_op(
         compiled[0]->result_col, transfer_chunk_->offset, combined)};
     const pim::MicroProgram prog = pb.take();
-    logic_phase({{0, &prog, &wp}}, &stats_.phases.transfer);
+    logic_phase({{0, &prog, &wp, &active_pages_}}, &stats_.phases.transfer);
     alloc(0).release(compiled[0]->result_col);
     alloc(1).release(compiled[1]->result_col);
     r_col_ = combined;
   }
 
   // Free introspection: exact selected-record count for the stats tables.
-  // Copy-free column popcounts, pages in parallel, reduced in page order.
+  // Copy-free column popcounts, active pages in parallel, reduced in page
+  // order; skipped pages provably select nothing and contribute zero.
   std::vector<std::size_t> page_selected(pages(), 0);
-  run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
+  run_jobs(active_pages_.size(), [&](std::size_t i, pim::EnergyMeter&) {
+    const std::size_t p = active_pages_[i];
     pim::Page& page = store_.page(0, p);
     std::size_t n = 0;
     for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
@@ -450,7 +587,8 @@ void Execution::build_agg_passes() {
 
 std::uint64_t Execution::run_agg_pass(const AggPass& pass,
                                       std::uint16_t select_col,
-                                      std::uint64_t* out_count, TimeNs* slot) {
+                                      std::uint64_t* out_count, TimeNs* slot,
+                                      const std::vector<std::size_t>& on_pages) {
   const bool want_count = pass.carries_count && out_count != nullptr;
   pim::AggRequest req;
   req.select_col = select_col;
@@ -474,7 +612,7 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
   const std::uint64_t value_max =
       req.value.width >= 64 ? ~0ULL : (1ULL << req.value.width) - 1;
   std::vector<Partial> partials(
-      pages(), Partial{req.op == pim::AggOp::kMin ? value_max : 0, 0});
+      on_pages.size(), Partial{req.op == pim::AggOp::kMin ? value_max : 0, 0});
   bool folded = false;
 
   if (kind_ == EngineKind::kPimdb) {
@@ -492,9 +630,9 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
     std::uint64_t total_cycles = 0;
     for (const std::uint64_t c : phases) total_cycles += c;
 
-    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
-      pim::Page& page = store_.page(0, p);
-      Partial& part = partials[p];
+    run_jobs(on_pages.size(), [&](std::size_t i, pim::EnergyMeter&) {
+      pim::Page& page = store_.page(0, on_pages[i]);
+      Partial& part = partials[i];
       for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
         pim::Crossbar& xb = page.crossbar(x);
         std::uint64_t count = 0;
@@ -518,8 +656,8 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
     folded = vectorized_;
     for (const std::uint64_t cycles : phases) {
       std::vector<pim::RequestTrace> traces;
-      traces.reserve(pages());
-      for (std::size_t p = 0; p < pages(); ++p) {
+      traces.reserve(on_pages.size());
+      for (const std::size_t p : on_pages) {
         pim::RequestTrace t = pim::logic_trace_cost(
             cfg_, cycles, store_.page(0, p).crossbar_count());
         meter_.add(pim::EnergyCat::kLogic, t.energy_j);
@@ -528,32 +666,33 @@ std::uint64_t Execution::run_agg_pass(const AggPass& pass,
       schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
     }
   } else {
-    std::vector<pim::RequestTrace> traces(pages());
-    std::vector<pim::PageAggResult> page_results(pages());
-    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter& meter) {
-      traces[p] =
-          pim::execute_aggregate(store_.page(0, p), req, cfg_, &meter,
-                                 vectorized_,
-                                 vectorized_ ? &page_results[p] : nullptr);
+    std::vector<pim::RequestTrace> traces(on_pages.size());
+    std::vector<pim::PageAggResult> page_results(on_pages.size());
+    run_jobs(on_pages.size(), [&](std::size_t i, pim::EnergyMeter& meter) {
+      traces[i] =
+          pim::execute_aggregate(store_.page(0, on_pages[i]), req, cfg_,
+                                 &meter, vectorized_,
+                                 vectorized_ ? &page_results[i] : nullptr);
     });
     if (vectorized_) {
-      for (std::size_t p = 0; p < pages(); ++p) {
-        partials[p] = Partial{page_results[p].value, page_results[p].count};
+      for (std::size_t i = 0; i < on_pages.size(); ++i) {
+        partials[i] = Partial{page_results[i].value, page_results[i].count};
       }
       folded = true;
     }
     schedule_phase(traces, hcfg_.request_window, hcfg_.issue_ns, slot);
   }
 
-  // Host fetches each crossbar's result (and count) line(s).
+  // Host fetches each crossbar's result (and count) line(s) — only from
+  // pages that ran the pass.
   std::uint32_t lines_per_page = pim::chunk_span(result_field_, cfg_);
   if (want_count) lines_per_page += pim::chunk_span(count_field_, cfg_);
-  line_read_phase(pages() * lines_per_page, slot);
+  line_read_phase(on_pages.size() * lines_per_page, slot);
 
   if (!folded) {
-    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
-      pim::Page& page = store_.page(0, p);
-      Partial& part = partials[p];
+    run_jobs(on_pages.size(), [&](std::size_t i, pim::EnergyMeter&) {
+      pim::Page& page = store_.page(0, on_pages[i]);
+      Partial& part = partials[i];
       for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
         const std::uint64_t v = page.crossbar(x).read_row_bits(
             0, result_field_.offset, result_field_.width);
@@ -583,19 +722,37 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
     const GroupKey& key, bool update_mask) {
   TimeNs* slot = &stats_.phases.pim_gb;
 
+  // Zone-map pruning, per subgroup: pages where the sketches refute the
+  // group key on every crossbar cannot hold a member, so the group match,
+  // the aggregation passes, and the result readback are all skipped there.
+  // The subgroup select is provably all-zero on those pages, which is
+  // exactly what the mask bookkeeping below synthesizes when needed.
+  std::vector<std::size_t> group_pages;
+  const std::vector<std::size_t>* on = &active_pages_;
+  if (prune_) {
+    const std::vector<std::uint8_t> possible =
+        analyze_group_match(q_.group_by, key, store_, &active_pages_);
+    for (const std::size_t p : active_pages_) {
+      if (possible[p]) group_pages.push_back(p);
+    }
+    stats_.group_pages_skipped += active_pages_.size() - group_pages.size();
+    on = &group_pages;
+    if (on->empty()) return {0, 0};  // no page can hold this subgroup
+  }
+
   // Part-1 group match (two-xb): compute, then transfer to part 0.
   bool have_transfer = false;
   if (store_.parts() == 2) {
     CompiledFilter match1 =
         compile_group_match(q_.group_by, key, store_.layout(1), alloc(1));
     if (match1.predicate_count > 0) {
-      logic_phase({{1, &match1.program, &match1.words}}, slot);
+      logic_phase({{1, &match1.program, &match1.words, on}}, slot);
       const std::vector<BitVec> bits =
-          read_column_phase(1, match1.result_col, slot);
+          read_column_phase(1, match1.result_col, slot, on);
       if (!transfer_chunk_) {
         transfer_chunk_ = alloc(0).alloc_aligned_chunk(cfg_.read_bits);
       }
-      write_column_phase(0, transfer_chunk_->offset, bits, slot);
+      write_column_phase(0, transfer_chunk_->offset, bits, slot, on);
       have_transfer = true;
     }
     alloc(1).release(match1.result_col);
@@ -646,6 +803,11 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
       wp.push_back(pim::WordOp::copy(sg, mask_col_));
       mask_valid_ = true;
     } else {
+      // Pages this subgroup runs on may have been pruned out of every
+      // earlier subgroup — their mask was never written. Zero it there
+      // (host-known: the pruned subgroups' selects are provably empty)
+      // before the OR below reads it.
+      ensure_mask_zero(*on);
       const std::uint16_t m = pb.emit_or(mask_col_, sg);
       pb.emit_copy_into(m, mask_col_);
       wp.push_back(pim::WordOp::or_op(mask_col_, sg, m));
@@ -666,7 +828,10 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
   }
   {
     const pim::MicroProgram prog = pb.take();
-    logic_phase({{0, &prog, &wp}}, slot);
+    logic_phase({{0, &prog, &wp, on}}, slot);
+  }
+  if (update_mask) {
+    for (const std::size_t p : *on) mask_ready_[p] = 1;
   }
 
   // Aggregation passes.
@@ -677,7 +842,8 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
     const AggPass& pass = passes_[i];
     std::uint64_t pass_count = 0;
     const std::uint64_t v = run_agg_pass(
-        pass, pass_select[i], pass.carries_count ? &pass_count : nullptr, slot);
+        pass, pass_select[i], pass.carries_count ? &pass_count : nullptr, slot,
+        *on);
     if (pass.carries_count) count = pass_count;
     if (q_.agg_func == sql::AggFunc::kCount) {
       total = static_cast<std::int64_t>(v);
@@ -707,9 +873,14 @@ std::pair<std::int64_t, std::uint64_t> Execution::aggregate_group(
 void Execution::sample_phase() {
   TimeNs* slot = &stats_.phases.sample;
 
-  // Read the filter bits of one page (32 K records), single thread.
+  // Read the filter bits of one page (32 K records), single thread. When
+  // the zone maps skipped page 0, its select is statically empty — the
+  // sampled survivor set is known to be empty at zero modeled cost, and
+  // (because the unpruned run would have read an all-zero column) the
+  // resulting estimates, candidates, and plan are identical either way.
   BitVec bits;
-  {
+  const bool page0_skipped = prune_ && analysis_.page_skip[0] != 0;
+  if (!page0_skipped) {
     pim::RequestTrace t =
         pim::read_bit_column(store_.page(0, 0), r_col_, hcfg_.line_stream_ns,
                              cfg_, &meter_, &bits, vectorized_);
@@ -920,16 +1091,21 @@ void Execution::host_gb_phase() {
   std::uint16_t residual = r_col_;
   bool residual_owned = false;
   if (mask_valid_) {
+    // Pages every pim-gb subgroup was pruned off never wrote their mask;
+    // zero it there (those subgroups provably selected nothing) so the
+    // AND-NOT below reads a defined value on every active page.
+    ensure_mask_zero(active_pages_);
     pim::ProgramBuilder pb(alloc(0));
     residual = pb.emit_andnot(r_col_, mask_col_);
     const pim::WordProgram wp = {
         pim::WordOp::andnot_op(r_col_, mask_col_, residual)};
     residual_owned = true;
     const pim::MicroProgram prog = pb.take();
-    logic_phase({{0, &prog, &wp}}, slot);
+    logic_phase({{0, &prog, &wp, &active_pages_}}, slot);
   }
 
-  const std::vector<BitVec> bits = read_column_phase(0, residual, slot);
+  const std::vector<BitVec> bits =
+      read_column_phase(0, residual, slot, &active_pages_);
 
   const auto chunks = chunk_set(host_read_attrs());
   std::size_t processed = 0;
@@ -1020,7 +1196,8 @@ void Execution::host_gb_phase() {
                   store_.field(q_.agg_expr.b)};
       }
     }
-    run_jobs(pages(), [&](std::size_t p, pim::EnergyMeter&) {
+    run_jobs(active_pages_.size(), [&](std::size_t job, pim::EnergyMeter&) {
+      const std::size_t p = active_pages_[job];
       PagePartial& part = partials[p];
       const std::uint32_t valid = store_.page_records(p);
       // Dense single-page read set: same line dedupe as the scalar walk,
@@ -1152,14 +1329,15 @@ void Execution::no_groupby_aggregate() {
     }
     if (any) {
       const pim::MicroProgram prog = pb.take();
-      logic_phase({{0, &prog, &wp}}, slot);
+      logic_phase({{0, &prog, &wp, &active_pages_}}, slot);
     }
   }
 
   std::int64_t total = 0;
   for (std::size_t i = 0; i < passes_.size(); ++i) {
     const AggPass& pass = passes_[i];
-    const std::uint64_t v = run_agg_pass(pass, pass_select[i], nullptr, slot);
+    const std::uint64_t v =
+        run_agg_pass(pass, pass_select[i], nullptr, slot, active_pages_);
     if (q_.agg_func == sql::AggFunc::kCount) {
       total = static_cast<std::int64_t>(v);
     } else if (pass.op == pim::AggOp::kSum) {
@@ -1224,18 +1402,36 @@ QueryOutput Execution::run() {
   wall("agg_passes", [&] { build_agg_passes(); });
   wall("filter", [&] { filter_phase(); });
 
+  // Early-exit aggregation on statically empty selects: every page was
+  // skipped by the zone maps, so the host knows — without one PIM request —
+  // that zero records survive. The plan-semantic stats (candidates, chosen
+  // k, estimates) are still produced, identically to the unpruned run; only
+  // the per-subgroup and host aggregation work is dropped, and the rows
+  // (none for GROUP BY, the zero aggregate otherwise) match exactly.
+  const bool statically_empty = prune_ && active_pages_.empty();
+
   if (!q_.has_group_by()) {
-    wall("no_gb_agg", [&] { no_groupby_aggregate(); });
+    if (statically_empty) {
+      rows_.push_back(ResultRow{{}, 0});
+    } else {
+      wall("no_gb_agg", [&] { no_groupby_aggregate(); });
+    }
     stats_.total_subgroups = 1;  // Table II: Q1.x aggregate once, in PIM
     stats_.pim_subgroups = 1;
   } else {
     wall("sample", [&] { sample_phase(); });
     wall("candidates", [&] { build_candidates(); });
     wall("plan", [&] { plan_phase(); });
-    wall("pim_gb", [&] { pim_gb_phase(); });
-    const bool pure_pim =
-        candidates_complete_ && chosen_k_ == candidates_.size();
-    if (!pure_pim && !opts_.skip_host_gb) wall("host_gb", [&] { host_gb_phase(); });
+    if (statically_empty) {
+      stats_.pim_subgroups = chosen_k_;
+    } else {
+      wall("pim_gb", [&] { pim_gb_phase(); });
+      const bool pure_pim =
+          candidates_complete_ && chosen_k_ == candidates_.size();
+      if (!pure_pim && !opts_.skip_host_gb) {
+        wall("host_gb", [&] { host_gb_phase(); });
+      }
+    }
     wall("finalize", [&] { finalize_phase(); });
   }
 

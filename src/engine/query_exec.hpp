@@ -82,6 +82,23 @@ struct QueryStats {
   bool candidates_complete = false;
   /// Estimated subgroup masses, descending (sampled groups then zeros).
   std::vector<double> candidate_masses;
+
+  // --- zone-map pruning effectiveness (all zero with pruning off) ----------
+  /// Filter-phase pages skipped outright (no gate program, no readback).
+  std::size_t pages_skipped = 0;
+  /// (part, page) filter programs replaced by a synthesized validity copy.
+  std::size_t pages_synthesized = 0;
+  /// Valid crossbars inside the skipped pages.
+  std::size_t crossbars_skipped = 0;
+  /// (predicate, page) evaluations resolved statically by the sketches.
+  std::size_t predicates_short_circuited = 0;
+  /// (subgroup, page) pim-gb aggregations skipped because the sketches
+  /// refute the subgroup key on every crossbar of the page.
+  std::size_t group_pages_skipped = 0;
+
+  // --- compiled-filter cache traffic of this execution ---------------------
+  std::size_t filter_cache_hits = 0;
+  std::size_t filter_cache_misses = 0;
 };
 
 struct ResultRow {
@@ -112,6 +129,15 @@ struct ExecOptions {
   /// compiled-filter cache: the measured baseline of bench/sim_speed and
   /// the oracle of the kernel-equivalence tests. Same results, slower.
   bool sim_scalar = false;
+  /// Zone-map pruning: skip pages the sketches prove cannot match, replace
+  /// provably all-true per-part filter programs by a synthesized validity
+  /// copy, skip refuted (subgroup, page) pairs in pim-gb, and early-exit
+  /// aggregation when every page is statically skipped. Result rows are
+  /// byte-identical with pruning on or off, and pages that do execute run
+  /// the exact same programs at the exact same modeled cost — pruning only
+  /// removes work, which is why it is excluded from the model-cache config
+  /// fingerprint. Unset defers to HostConfig::prune.
+  std::optional<bool> prune;
 };
 
 class PimQueryEngine {

@@ -63,6 +63,12 @@ struct HostConfig {
   /// fingerprint). 0 = all hardware threads, 1 = serial. Results, modeled
   /// times, energy, wear, and traces are bit-identical at any value.
   std::uint32_t sim_threads = 0;
+
+  /// Default for ExecOptions::prune (zone-map data skipping). Like
+  /// sim_threads, deliberately excluded from the model-cache config
+  /// fingerprint: pruning never changes the modeled per-page cost of a page
+  /// that executes, so models fitted without pruning stay valid with it.
+  bool prune = false;
 };
 
 }  // namespace bbpim::host
