@@ -16,7 +16,9 @@
 // the concurrent run observed. Row checksums and headline stats must match
 // exactly, and the final store contents (FNV over every record) must equal
 // the oracle's. This is the concurrent-vs-serial equivalence argument of
-// the writer-gate design, measured rather than asserted.
+// the snapshot design — reads serve immutable epoch-pinned snapshots,
+// updates copy-on-write a successor version — measured rather than
+// asserted.
 //
 // Emits BENCH_htap_mix.json in the working directory.
 //
@@ -147,6 +149,7 @@ int main() {
     service_opts.workers = workers;
     service_opts.session = session_opts;
     db::QueryService service(database, service_opts);
+    // Outside the clock: the one shared snapshot-store load + model fit.
     service.warm_up(db::BackendKind::kOneXb);
 
     const auto start = Clock::now();

@@ -1,12 +1,56 @@
 #include "db/database.hpp"
 
+#include <cstring>
 #include <mutex>
 #include <stdexcept>
 #include <utility>
 
 #include "db/session.hpp"
+#include "db/snapshot_manager.hpp"
 
 namespace bbpim::db {
+
+namespace {
+
+/// FNV-1a over a PimConfig's fields: distinguishes snapshot managers when
+/// tests run the same table under different module geometries or timings.
+/// Doubles hash by bit pattern — config equality, not numeric tolerance.
+std::uint64_t pim_config_fingerprint(const pim::PimConfig& cfg) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  };
+  const auto mix_double = [&mix](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(cfg.crossbar_rows);
+  mix(cfg.crossbar_cols);
+  mix(cfg.crossbars_per_page);
+  mix(cfg.chips);
+  mix(cfg.capacity_bytes);
+  mix(cfg.read_bits);
+  mix_double(cfg.logic_cycle_ns);
+  mix_double(cfg.read_cycle_ns);
+  mix_double(cfg.write_cycle_ns);
+  mix_double(cfg.logic_energy_fj_per_bit);
+  mix_double(cfg.read_energy_pj_per_bit);
+  mix_double(cfg.write_energy_pj_per_bit);
+  mix_double(cfg.agg_circuit_power_uw);
+  mix_double(cfg.controller_power_uw);
+  return h;
+}
+
+}  // namespace
+
+// Out of line: SnapshotManager is forward-declared in the header, so the
+// unique_ptr map's destructor must be instantiated here.
+Database::Database() = default;
+Database::~Database() = default;
 
 Database::Database(Database&& other) noexcept {
   std::unique_lock lock(other.mutex_);
@@ -16,6 +60,7 @@ Database::Database(Database&& other) noexcept {
   version_.store(other.version_.load(std::memory_order_acquire),
                  std::memory_order_release);
   writes_ = std::move(other.writes_);
+  snapshots_ = std::move(other.snapshots_);
 }
 
 Database& Database::operator=(Database&& other) noexcept {
@@ -27,6 +72,7 @@ Database& Database::operator=(Database&& other) noexcept {
     version_.store(other.version_.load(std::memory_order_acquire),
                    std::memory_order_release);
     writes_ = std::move(other.writes_);
+    snapshots_ = std::move(other.snapshots_);
   }
   return *this;
 }
@@ -139,6 +185,24 @@ TableWrites& Database::writes(const rel::Table& table) {
 
 std::uint64_t Database::update_version(const rel::Table& table) {
   return writes(table).committed.load(std::memory_order_acquire);
+}
+
+SnapshotManager& Database::snapshot_manager(const rel::Table& table,
+                                            bool two_crossbar,
+                                            const pim::PimConfig& pim) {
+  // Resolve the policy reference and write state BEFORE taking
+  // snapshots_mutex_ (both take their own locks; keep the order acyclic).
+  const LoadPolicy& policy = policy_of(table);
+  TableWrites& writes_state = writes(table);
+  const auto key =
+      std::make_tuple(&table, two_crossbar, pim_config_fingerprint(pim));
+  std::lock_guard lock(snapshots_mutex_);
+  std::unique_ptr<SnapshotManager>& slot = snapshots_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<SnapshotManager>(table, policy, writes_state,
+                                             two_crossbar, pim);
+  }
+  return *slot;
 }
 
 Session Database::connect() { return Session(*this); }

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "pim/config.hpp"
 #include "relational/table.hpp"
 #include "sql/logical_plan.hpp"
 
@@ -27,6 +28,7 @@ namespace bbpim::db {
 
 struct SessionOptions;
 class Session;
+class SnapshotManager;
 
 /// How a table is placed into PIM when a session loads it.
 struct LoadPolicy {
@@ -76,7 +78,11 @@ struct TableWrites {
 /// are immutable through the catalog.
 class Database {
  public:
-  Database() = default;
+  // Constructor/destructor out of line: SnapshotManager is incomplete here,
+  // and an inline defaulted special member would instantiate the snapshots_
+  // map's destructor (needed for unwinding) in every including TU.
+  Database();
+  ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
   /// Movable while no session is connected (sessions hold a pointer) and no
@@ -122,8 +128,16 @@ class Database {
   TableWrites& writes(const rel::Table& table);
 
   /// Updates committed against `table` so far (its current data version).
-  /// Takes the table's writer gate shared.
+  /// Lock-free (reads TableWrites::committed).
   std::uint64_t update_version(const rel::Table& table);
+
+  /// The shared snapshot manager for `table` under one PIM placement
+  /// (one-xb vs two-xb) and module configuration: every executor of every
+  /// session on this database serves that combination from ONE builder
+  /// store's published snapshots. Created on first use; address stable for
+  /// the database's lifetime.
+  SnapshotManager& snapshot_manager(const rel::Table& table, bool two_crossbar,
+                                    const pim::PimConfig& pim);
 
   /// Opens a session over this catalog (must not outlive the database).
   Session connect();
@@ -150,6 +164,13 @@ class Database {
   /// TableWrites guards itself afterwards).
   std::mutex writes_mutex_;
   std::map<const rel::Table*, std::unique_ptr<TableWrites>> writes_;
+  /// Lazily created per-(table, placement, config) snapshot managers;
+  /// unique_ptr keeps addresses stable. Guarded by snapshots_mutex_
+  /// (creation only — managers synchronize themselves afterwards).
+  std::mutex snapshots_mutex_;
+  std::map<std::tuple<const rel::Table*, bool, std::uint64_t>,
+           std::unique_ptr<SnapshotManager>>
+      snapshots_;
 };
 
 }  // namespace bbpim::db

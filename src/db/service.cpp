@@ -160,9 +160,12 @@ void QueryService::warm_up(BackendKind backend) {
         // barrier would otherwise park its siblings forever.
         std::exception_ptr error;
         try {
-          // First touch: PIM store load, then catch-up replay of any
-          // committed updates — both outside the caller's timed region.
-          session.executor(backend).warm();
+          // First touch: the worker pins the table's current snapshot (the
+          // shared store loads once, on whichever worker gets there first)
+          // and allocates its private scratch pages — outside the caller's
+          // timed region. No replay happens here or later: serving a newer
+          // version is a snapshot re-pin, not a log replay.
+          session.executor(backend);
           if (const auto kind = engine_kind_of(backend)) {
             session.models(*kind);  // fit-once across the pool
           }

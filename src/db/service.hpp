@@ -2,12 +2,15 @@
 //
 // A fixed pool of std::thread workers drains a FIFO task queue; each worker
 // owns a private Session (per-worker session affinity), so the stateful PIM
-// executors — the simulator mutates crossbar state per query — are never
-// shared across threads. What IS shared is cheap and thread-safe: the
-// Database catalog (shared-locked reads) and one ModelCache (fit-once under
-// lock: N workers needing the same engine kind trigger exactly one fitting
-// campaign). The simulator is deterministic, so a query returns
-// byte-identical rows and stats no matter which worker serves it.
+// executors — private scratch the simulator mutates per query — are never
+// shared across threads. What IS shared is thread-safe: the Database
+// catalog (shared-locked reads), one ModelCache (fit-once under lock: N
+// workers needing the same engine kind trigger exactly one fitting
+// campaign), and the per-table snapshot store — every worker's executor
+// pins the same immutable StoreSnapshot for its data version, so there is
+// no per-worker data replica and no catch-up replay. The simulator is
+// deterministic, so a query returns byte-identical rows and stats no
+// matter which worker serves it.
 //
 //   db::QueryService service(database, {.workers = 4});
 //   std::future<db::ResultSet> f = service.submit(
@@ -59,12 +62,15 @@ class QueryService {
   // --- asynchronous serving ----------------------------------------------
   /// Enqueues one statement on the default backend — SELECT or UPDATE; the
   /// pool serves mixed read/write traffic. An UPDATE executed by any worker
-  /// commits to the Database's per-table update log under the exclusive
-  /// writer gate; every other worker's private store replays it before its
-  /// next execution on that table, so reads anywhere observe a consistent
-  /// log prefix (reported by ResultSet::data_version). The future delivers
-  /// the ResultSet, or rethrows whatever the statement raised on the
-  /// worker. Throws std::runtime_error once shutdown() has been called.
+  /// goes through the table's SnapshotManager: Algorithm 1 runs once in the
+  /// shared builder store under the exclusive writer gate, commits to the
+  /// per-table update log, and publishes a copy-on-write successor
+  /// snapshot. Other workers keep serving their pinned snapshot untouched
+  /// and re-pin (a pointer swap, no replay) before their next execution on
+  /// that table, so reads anywhere observe a consistent log prefix
+  /// (reported by ResultSet::data_version). The future delivers the
+  /// ResultSet, or rethrows whatever the statement raised on the worker.
+  /// Throws std::runtime_error once shutdown() has been called.
   std::future<ResultSet> submit(std::string sql_text,
                                 const engine::ExecOptions& opts = {});
   std::future<ResultSet> submit(std::string sql_text, BackendKind backend,
@@ -79,10 +85,11 @@ class QueryService {
                                        BackendKind backend);
 
   /// Blocks until EVERY worker has built its executor for the default
-  /// target on `backend` AND brought it current (PIM store loads, one
-  /// shared model fit, and per-worker catch-up replay of the committed
-  /// update log all happen here, not inside the first timed queries).
-  /// Benches call this before the clock starts.
+  /// target on `backend` — the one shared snapshot-store load, per-worker
+  /// scratch allocation, and the one shared model fit all happen here, not
+  /// inside the first timed queries. Benches call this before the clock
+  /// starts. (There is no per-worker replay to warm any more: workers pin
+  /// immutable snapshots and re-pin in O(crossbars) when behind.)
   void warm_up(BackendKind backend);
 
   /// Stops intake, drains already-queued work, joins the workers.

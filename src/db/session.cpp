@@ -10,6 +10,7 @@
 
 #include "baseline/monet.hpp"
 #include "baseline/reference.hpp"
+#include "db/snapshot_manager.hpp"
 #include "engine/explain.hpp"
 #include "engine/pim_store.hpp"
 #include "engine/prejoin.hpp"
@@ -34,39 +35,31 @@ std::vector<ResultSet::Column> result_columns(const sql::BoundQuery& q,
   return cols;
 }
 
-/// Part of an attribute under a table's load policy — the vertical split a
-/// two-xb store of this table would use. Updates are validated against it
-/// regardless of which engine executes them, so the shared update log stays
-/// replayable on EVERY engine variant of the table (a one-part store would
-/// happily apply a cross-part update that a two-xb replica then chokes on).
-int policy_part(const LoadPolicy& policy, const std::string& attr_name) {
-  if (policy.part_of) return policy.part_of(attr_name);
-  return attr_name.rfind("lo_", 0) == 0 ? 0 : 1;  // PimStore's default rule
-}
-
-/// PIM backends: module + store built at first touch, models fitted only
-/// when a query actually needs the GROUP-BY planner.
+/// PIM backends: a zero-copy view over the table's shared snapshot store.
+/// The executor pins the current StoreSnapshot (published by the table's
+/// db::SnapshotManager), allocates only private scratch pages in its own
+/// module, and serves queries against the snapshot's immutable crossbar
+/// data. Updates route through the manager's single builder store; the
+/// executor then re-pins the version it produced (read-your-writes).
+/// Models are fitted only when a query actually needs the GROUP-BY planner.
 class PimExecutor final : public Executor {
  public:
   PimExecutor(Session& session, engine::EngineKind kind,
-              const rel::Table& table, const LoadPolicy& policy)
+              const rel::Table& table)
       : session_(&session),
         kind_(kind),
         table_(&table),
-        policy_(&policy),
         writes_(&session.database().writes(table)),
+        manager_(&session.database().snapshot_manager(
+            table, kind == engine::EngineKind::kTwoXb,
+            session.options().pim)),
+        snap_(manager_->acquire(session.options().host)),
         module_(session.options().pim),
-        store_(module_, table,
-               [&] {
-                 engine::PimStore::Options o;
-                 o.two_crossbar = kind == engine::EngineKind::kTwoXb;
-                 o.max_distinct = policy.max_distinct;
-                 if (policy.part_of) o.part_of = policy.part_of;
-                 return o;
-               }()),
+        store_(module_, table, manager_->store_options(), snap_),
         engine_(kind, store_, session.options().host) {
     if (session.options().verbose) {
-      std::cerr << "[db] loaded '" << table.name() << "' into PIM ("
+      std::cerr << "[db] pinned '" << table.name() << "' snapshot v"
+                << snap_->version() << " ("
                 << engine::engine_kind_name(kind) << "): "
                 << store_.record_count() << " records, "
                 << store_.pages_per_part() << " pages/part\n";
@@ -80,59 +73,27 @@ class PimExecutor final : public Executor {
                               const engine::ExecOptions& opts) override {
     // The planner (Equation 3) is the only consumer of the fitted models;
     // forced-k and ungrouped queries run model-free, exactly as the seed's
-    // ablation benches did. Fit before taking the gate: a fitting campaign
-    // under a shared gate would stall writers for its whole duration.
+    // ablation benches did.
     if (q.has_group_by() && !opts.force_k.has_value()) ensure_models();
-    // Fast path: when this store already applied every committed update
-    // (the common case in read-mostly serving), skip the writer gate
-    // entirely — no other session's update can touch OUR private store, so
-    // the gate would only add reader-side shared-lock contention. A commit
-    // racing the version check serializes after this read, exactly as if
-    // the read had taken the gate first.
-    if (writes_->committed.load(std::memory_order_acquire) == applied_) {
-      engine::QueryOutput out = engine_.execute(q, opts);
-      observed_version_ = applied_;
-      return out;
-    }
-    // Reader side of the writer gate: updates cannot land while this
-    // execution runs, and the catch-up below pins which log prefix it sees.
-    std::shared_lock gate(writes_->gate);
-    catch_up();
+    refresh();
     engine::QueryOutput out = engine_.execute(q, opts);
-    observed_version_ = applied_;
+    observed_version_ = snap_->version();
     return out;
   }
 
   UpdateResult execute_update(const sql::BoundUpdate& update,
                               const engine::ExecOptions&) override {
-    // Writer side: exclusive gate = no in-flight reads on this table while
-    // crossbar data mutates, and the log append is a total order.
-    std::unique_lock gate(writes_->gate);
-    catch_up();
-    validate_parts(update);
     UpdateResult result;
-    {
-      const auto mutation = store_.lock_mutation();
-      result.stats =
-          engine::pim_update(store_, session_->options().host, update.filters,
-                             update.attr, update.value);
-    }
-    // Commit only after the local application succeeded: a throwing update
-    // (validation, scratch exhaustion) must not poison the log for replicas.
-    writes_->log.push_back(update);
-    writes_->committed.store(writes_->log.size(), std::memory_order_release);
-    ++applied_;
-    observed_version_ = applied_;
-    result.data_version = applied_;
+    std::uint64_t version = 0;
+    result.stats =
+        manager_->apply_update(update, session_->options().host, &version);
+    // Read-your-writes: re-pin at (at least) the version this update
+    // produced before the caller's next read through this executor.
+    snap_ = manager_->acquire(session_->options().host);
+    store_.adopt(snap_);
+    observed_version_ = version;
+    result.data_version = version;
     return result;
-  }
-
-  /// Catch-up replay outside any timed region (QueryService::warm_up):
-  /// brings this worker's private store to the current committed version so
-  /// the first served query does not pay the replay.
-  void warm() override {
-    std::shared_lock gate(writes_->gate);
-    catch_up();
   }
 
   std::uint64_t last_data_version() const override {
@@ -152,47 +113,29 @@ class PimExecutor final : public Executor {
   engine::PimQueryEngine& engine() { return engine_; }
 
  private:
-  /// Replays committed updates this store has not applied yet. Caller holds
-  /// the writer gate (shared suffices: only this session's thread touches
-  /// this store, and appends require the exclusive gate).
-  void catch_up() {
-    if (applied_ == writes_->log.size()) return;
-    const auto mutation = store_.lock_mutation();
-    for (; applied_ < writes_->log.size(); ++applied_) {
-      const sql::BoundUpdate& u = writes_->log[applied_];
-      engine::pim_update(store_, session_->options().host, u.filters, u.attr,
-                         u.value);
-    }
-  }
-
-  /// The cross-engine replayability rule (see policy_part above).
-  void validate_parts(const sql::BoundUpdate& update) const {
-    const rel::Schema& schema = table_->schema();
-    const int part =
-        policy_part(*policy_, schema.attribute(update.attr).name);
-    for (const sql::BoundPredicate& p : update.filters) {
-      if (p.kind == sql::BoundPredicate::Kind::kAlways ||
-          p.kind == sql::BoundPredicate::Kind::kNever) {
-        continue;
-      }
-      if (policy_part(*policy_, schema.attribute(p.attr).name) != part) {
-        throw std::invalid_argument(
-            "execute_update: WHERE predicates must live in the updated "
-            "attribute's part under the table's load policy (Algorithm 1 "
-            "computes the select bit in-part)");
-      }
+  /// Re-pins the current snapshot when behind. The fast path is one atomic
+  /// load with no locks anywhere: when the table's committed counter equals
+  /// the pinned version (the common case in read-mostly serving) the
+  /// executor touches neither the writer gate nor the manager — this is
+  /// what removed the reader-side contention that made HTAP worker scaling
+  /// negative. A commit racing the check serializes after this read.
+  void refresh() {
+    if (writes_->committed.load(std::memory_order_acquire) !=
+        snap_->version()) {
+      snap_ = manager_->acquire(session_->options().host);
+      store_.adopt(snap_);
     }
   }
 
   Session* session_;
   engine::EngineKind kind_;
   const rel::Table* table_;
-  const LoadPolicy* policy_;
   TableWrites* writes_;
-  pim::PimModule module_;
-  engine::PimStore store_;
+  SnapshotManager* manager_;
+  std::shared_ptr<const engine::StoreSnapshot> snap_;  ///< pinned version
+  pim::PimModule module_;      ///< scratch pages only (data is the snapshot's)
+  engine::PimStore store_;     ///< view over snap_
   engine::PimQueryEngine engine_;
-  std::uint64_t applied_ = 0;           ///< log prefix applied to store_
   std::uint64_t observed_version_ = 0;  ///< version of the last execution
 };
 
@@ -572,8 +515,7 @@ Executor& Session::executor_for(BackendKind backend, const rel::Table& table) {
 
   std::unique_ptr<Executor> ex;
   if (const auto kind = engine_kind_of(backend)) {
-    ex = std::make_unique<PimExecutor>(*this, *kind, table,
-                                       db_->policy_of(table));
+    ex = std::make_unique<PimExecutor>(*this, *kind, table);
   } else if (backend == BackendKind::kColumnar) {
     ex = std::make_unique<ColumnarExecutor>(*db_, table);
   } else {

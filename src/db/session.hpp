@@ -138,12 +138,15 @@ struct UpdateResult {
 
 /// Uniform execution interface over one (backend, relation) pair.
 ///
-/// Mutation-safe serving contract: PIM executors route every execution
-/// through the table's Database-level writer gate — reads hold it shared,
-/// updates exclusive — and replay the table's committed update log into
-/// their private store before executing (lazy catch-up). Every result
-/// therefore reflects a prefix of the update log, and last_data_version()
-/// reports which one.
+/// Mutation-safe serving contract: PIM executors serve every read against
+/// an immutable epoch-pinned snapshot of the table's shared store
+/// (db::SnapshotManager). A read whose pinned version is current runs
+/// entirely lock-free; a stale reader re-pins the newest snapshot first
+/// (O(crossbars) pointer swings, no replay). Updates route through the
+/// manager's single builder, which copy-on-writes only the crossbars whose
+/// bits change and atomically publishes the successor version. Every
+/// result therefore reflects a prefix of the table's update log, and
+/// last_data_version() reports which one.
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -160,11 +163,6 @@ class Executor {
   /// through this executor (sessions are single-threaded per the threading
   /// model, so this pairs with the call that just returned).
   virtual std::uint64_t last_data_version() const { return 0; }
-  /// Brings lazily maintained executor state current outside any timed
-  /// region (PIM executors replay the table's committed update log into
-  /// their private store). QueryService::warm_up calls this so benches
-  /// never pay catch-up inside the measured window. No-op by default.
-  virtual void warm() {}
   /// Physical-plan rendering; throws std::invalid_argument for backends
   /// without one (the host baselines).
   virtual std::string explain(const sql::BoundQuery& q);
@@ -174,9 +172,12 @@ class Executor {
 /// lookups are mutex-guarded, so concurrent prepare()/models() calls — and
 /// sessions sharing one Database and ModelCache across threads — are safe.
 /// Executing queries concurrently *through one session* is not: executors
-/// are stateful (the PIM simulator mutates crossbar state), so concurrent
+/// are stateful (private scratch pages, the pinned snapshot), so concurrent
 /// execute() on a single session requires external synchronization. Use one
-/// session per thread (or QueryService, which does exactly that) instead.
+/// session per thread (or QueryService, which does exactly that): sessions
+/// sharing a Database then serve reads from the SAME immutable snapshot
+/// store — readers never block writers, and a writer never blocks readers
+/// pinned to the current version.
 class Session {
  public:
   explicit Session(Database& db, SessionOptions opts = {});

@@ -1,0 +1,124 @@
+#include "db/snapshot_manager.hpp"
+
+#include <shared_mutex>
+#include <stdexcept>
+#include <utility>
+
+namespace bbpim::db {
+
+SnapshotManager::SnapshotManager(const rel::Table& table,
+                                 const LoadPolicy& policy, TableWrites& writes,
+                                 bool two_crossbar,
+                                 const pim::PimConfig& pim_cfg)
+    : table_(&table),
+      policy_(&policy),
+      writes_(&writes),
+      two_crossbar_(two_crossbar),
+      pim_cfg_(pim_cfg),
+      live_(std::make_shared<std::atomic<std::int64_t>>(0)) {}
+
+engine::PimStore::Options SnapshotManager::store_options() const {
+  engine::PimStore::Options o;
+  o.two_crossbar = two_crossbar_;
+  o.max_distinct = policy_->max_distinct;
+  if (policy_->part_of) o.part_of = policy_->part_of;
+  return o;
+}
+
+void SnapshotManager::ensure_builder_locked() {
+  if (builder_ != nullptr) return;
+  module_ = std::make_unique<pim::PimModule>(pim_cfg_);
+  builder_ =
+      std::make_unique<engine::PimStore>(*module_, *table_, store_options());
+}
+
+void SnapshotManager::catch_up_locked(const host::HostConfig& hcfg,
+                                      std::vector<std::size_t>* touched) {
+  if (applied_ == writes_->log.size()) return;
+  const auto mutation = builder_->lock_mutation();
+  for (; applied_ < writes_->log.size(); ++applied_) {
+    const sql::BoundUpdate& u = writes_->log[applied_];
+    engine::pim_update(*builder_, hcfg, u.filters, u.attr, u.value);
+    touched->push_back(u.attr);
+  }
+}
+
+void SnapshotManager::publish_locked(const std::vector<std::size_t>& touched) {
+  current_ = engine::freeze_snapshot(*builder_, applied_, current_.get(),
+                                     touched, live_);
+  published_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::shared_ptr<const engine::StoreSnapshot> SnapshotManager::acquire(
+    const host::HostConfig& hcfg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ensure_builder_locked();
+  if (current_ != nullptr &&
+      applied_ == writes_->committed.load(std::memory_order_acquire)) {
+    return current_;
+  }
+  // Behind (or never published): replay the committed suffix under the
+  // reader side of the gate, then publish once for the whole burst.
+  std::shared_lock gate(writes_->gate);
+  std::vector<std::size_t> touched;
+  catch_up_locked(hcfg, &touched);
+  if (current_ == nullptr || !touched.empty()) publish_locked(touched);
+  return current_;
+}
+
+engine::UpdateStats SnapshotManager::apply_update(
+    const sql::BoundUpdate& update, const host::HostConfig& hcfg,
+    std::uint64_t* version_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ensure_builder_locked();
+  // Writer side: the exclusive gate totally orders log appends across every
+  // manager sharing this table's log (one per engine placement).
+  std::unique_lock gate(writes_->gate);
+  std::vector<std::size_t> touched;
+  catch_up_locked(hcfg, &touched);
+  validate_parts(update);
+  engine::UpdateStats stats;
+  {
+    const auto mutation = builder_->lock_mutation();
+    stats = engine::pim_update(*builder_, hcfg, update.filters, update.attr,
+                               update.value);
+  }
+  // Commit only after the local application succeeded: a throwing update
+  // (validation, scratch exhaustion) must not poison the log for replicas.
+  writes_->log.push_back(update);
+  writes_->committed.store(writes_->log.size(), std::memory_order_release);
+  ++applied_;
+  touched.push_back(update.attr);
+  publish_locked(touched);
+  if (version_out != nullptr) *version_out = applied_;
+  return stats;
+}
+
+int SnapshotManager::policy_part(const std::string& attr_name) const {
+  if (policy_->part_of) return policy_->part_of(attr_name);
+  return attr_name.rfind("lo_", 0) == 0 ? 0 : 1;  // PimStore's default rule
+}
+
+void SnapshotManager::validate_parts(const sql::BoundUpdate& update) const {
+  // The cross-engine replayability rule: updates are validated against the
+  // table's policy split regardless of which engine executes them, so the
+  // shared update log stays replayable on EVERY engine variant of the table
+  // (a one-part store would happily apply a cross-part update that a two-xb
+  // replica then chokes on).
+  const rel::Schema& schema = table_->schema();
+  const int part = policy_part(schema.attribute(update.attr).name);
+  for (const sql::BoundPredicate& p : update.filters) {
+    if (p.kind == sql::BoundPredicate::Kind::kAlways ||
+        p.kind == sql::BoundPredicate::Kind::kNever) {
+      continue;
+    }
+    if (policy_part(schema.attribute(p.attr).name) != part) {
+      throw std::invalid_argument(
+          "execute_update: WHERE predicates must live in the updated "
+          "attribute's part under the table's load policy (Algorithm 1 "
+          "computes the select bit in-part)");
+    }
+  }
+}
+
+}  // namespace bbpim::db

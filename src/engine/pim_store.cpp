@@ -8,6 +8,10 @@
 namespace bbpim::engine {
 
 PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
+    : PimStore(module, table, std::move(opt), nullptr) {}
+
+PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt,
+                   std::shared_ptr<const StoreSnapshot> snap)
     : module_(&module), table_(&table), two_crossbar_(opt.two_crossbar) {
   const rel::Schema& schema = table.schema();
   const std::size_t nattrs = schema.attribute_count();
@@ -48,7 +52,22 @@ PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
   records_per_page_ = cfg.records_per_page();
   pages_per_part_ = (records_ + records_per_page_ - 1) / records_per_page_;
   for (int part = 0; part < parts(); ++part) {
-    base_page_.push_back(module.allocate_pages(pages_per_part_));
+    // Data columns (attributes + validity, [0, scratch_begin)) form the
+    // shareable CoW segment of every crossbar; scratch stays private.
+    base_page_.push_back(
+        module.allocate_pages(pages_per_part_, layouts_[part].scratch_begin()));
+  }
+  rows_per_crossbar_ = cfg.crossbar_rows;
+  max_distinct_ = opt.max_distinct;
+  attr_mutated_.assign(nattrs, false);
+  distinct_stale_.assign(nattrs, false);
+  distinct_.resize(nattrs);
+
+  if (snap != nullptr) {
+    // View mode: data comes from the snapshot's shared segments — nothing
+    // to load, and every derived structure delegates to the snapshot.
+    adopt(std::move(snap));
+    return;
   }
 
   for (int part = 0; part < parts(); ++part) load_part(part);
@@ -56,7 +75,6 @@ PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
   // Zone-map sketches, accumulated from the backing table (record r lives
   // in crossbar r / rows; the partial last crossbar's sketch covers only
   // its valid records).
-  rows_per_crossbar_ = cfg.crossbar_rows;
   {
     std::vector<std::uint32_t> attr_bits;
     attr_bits.reserve(nattrs);
@@ -75,10 +93,6 @@ PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
   }
 
   // Distinct stats for GROUP-BY candidate enumeration.
-  max_distinct_ = opt.max_distinct;
-  attr_mutated_.assign(nattrs, false);
-  distinct_stale_.assign(nattrs, false);
-  distinct_.resize(nattrs);
   for (std::size_t a = 0; a < nattrs; ++a) {
     std::unordered_set<std::uint64_t> seen;
     bool capped = false;
@@ -95,6 +109,24 @@ PimStore::PimStore(pim::PimModule& module, const rel::Table& table, Options opt)
       distinct_[a] = std::move(vals);
     }
   }
+}
+
+void PimStore::adopt(std::shared_ptr<const StoreSnapshot> snap) {
+  if (snap == nullptr) {
+    throw std::invalid_argument("PimStore::adopt: null snapshot");
+  }
+  if (snap->pages_per_part() != pages_per_part_) {
+    throw std::invalid_argument("PimStore::adopt: geometry mismatch");
+  }
+  for (int part = 0; part < parts(); ++part) {
+    for (std::size_t p = 0; p < pages_per_part_; ++p) {
+      pim::Page& pg = page(part, p);
+      for (std::uint32_t x = 0; x < pg.crossbar_count(); ++x) {
+        pg.crossbar(x).adopt_data(snap->segment(part, p, x));
+      }
+    }
+  }
+  snap_ = std::move(snap);
 }
 
 void PimStore::load_part(int part) {
@@ -134,6 +166,9 @@ std::uint32_t PimStore::page_records(std::size_t i) const {
 
 const std::unordered_map<std::uint64_t, std::uint64_t>*
 PimStore::functional_dependency(std::size_t attr_a, std::size_t attr_b) const {
+  if (snap_ != nullptr) {
+    return snap_->stats().functional_dependency(attr_a, attr_b, *this);
+  }
   if (attr_a == attr_b) return nullptr;
   // Through the refreshing accessor: mutation can change the capped status.
   if (!distinct_values(attr_a) || !distinct_values(attr_b)) return nullptr;
@@ -160,6 +195,9 @@ PimStore::functional_dependency(std::size_t attr_a, std::size_t attr_b) const {
 
 const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
 PimStore::co_occurrence(std::size_t attr_a, std::size_t attr_b) const {
+  if (snap_ != nullptr) {
+    return snap_->stats().co_occurrence(attr_a, attr_b, *this);
+  }
   if (attr_a == attr_b) return nullptr;
   if (!distinct_values(attr_a) || !distinct_values(attr_b)) return nullptr;
   const auto key = std::make_pair(attr_a, attr_b);
@@ -197,6 +235,7 @@ std::uint64_t PimStore::current_value(std::size_t record,
 
 const std::optional<std::vector<std::uint64_t>>& PimStore::distinct_values(
     std::size_t attr) const {
+  if (snap_ != nullptr) return snap_->stats().distinct_values(attr, *this);
   if (distinct_stale_.at(attr)) {
     // Rebuild from the crossbars (the backing table column no longer
     // reflects the stored values). Same capping rule as load time. Lazy so
@@ -245,6 +284,7 @@ void PimStore::rebuild_zone_crossbar(std::size_t attr,
 }
 
 const ZoneMaps& PimStore::zone_maps() const {
+  if (snap_ != nullptr) return snap_->zone_maps();
   if (zones_.any_stale()) {
     for (std::size_t a = 0; a < zones_.attr_count(); ++a) {
       if (!zones_.stale(a)) continue;
@@ -259,6 +299,11 @@ const ZoneMaps& PimStore::zone_maps() const {
 
 void PimStore::note_mutation(std::size_t attr,
                              const std::vector<std::uint32_t>* touched_crossbars) {
+  if (snap_ != nullptr) {
+    throw std::logic_error(
+        "PimStore: view stores are immutable; apply updates through the "
+        "builder (db::SnapshotManager) and adopt the published snapshot");
+  }
   assert(mutation_locked_by_caller() &&
          "PimStore::note_mutation requires the mutation lock");
   attr_mutated_.at(attr) = true;

@@ -24,12 +24,27 @@
 
 #include "engine/filter_compiler.hpp"
 #include "engine/layout.hpp"
+#include "engine/snapshot_store.hpp"
 #include "engine/zone_map.hpp"
 #include "pim/module.hpp"
 #include "relational/table.hpp"
 
 namespace bbpim::engine {
 
+// A PimStore runs in one of two modes:
+//
+//   builder — the classic mutable store: loads the relation into its
+//     module's crossbars, owns zone maps, distinct/FD/co-occurrence stats
+//     and the compiled-filter cache, and accepts in-place mutation through
+//     the lock + note_mutation protocol. db::SnapshotManager keeps exactly
+//     one builder per table and publishes its state as StoreSnapshots.
+//
+//   view — an immutable serving store over one published StoreSnapshot:
+//     its crossbars' data segments point at the snapshot's shared segments
+//     (zero copy; see Crossbar::adopt_data), and zone maps, derived stats
+//     and the filter cache delegate to the snapshot. Views skip loading
+//     entirely, never mutate (note_mutation throws), and re-point to a
+//     newer snapshot in O(crossbars) shared_ptr assignments via adopt().
 class PimStore {
  public:
   struct Options {
@@ -47,6 +62,22 @@ class PimStore {
   /// One-crossbar store with default options.
   PimStore(pim::PimModule& module, const rel::Table& table)
       : PimStore(module, table, Options()) {}
+  /// View store over a published snapshot: allocates pages in `module`
+  /// (scratch only — the data segments are adopted from `snap`, not
+  /// loaded) and serves queries against that immutable version. `opt` must
+  /// describe the same placement the builder used.
+  PimStore(pim::PimModule& module, const rel::Table& table, Options opt,
+           std::shared_ptr<const StoreSnapshot> snap);
+
+  /// Re-points a view store at a newer snapshot of the same geometry
+  /// (O(crossbars) shared_ptr assignments; nothing is copied or replayed).
+  void adopt(std::shared_ptr<const StoreSnapshot> snap);
+
+  bool is_view() const { return snap_ != nullptr; }
+  /// The pinned snapshot (views only; nullptr for builders).
+  const std::shared_ptr<const StoreSnapshot>& snapshot() const {
+    return snap_;
+  }
 
   pim::PimModule& module() { return *module_; }
   const pim::PimConfig& module_config() const { return module_->config(); }
@@ -102,8 +133,19 @@ class PimStore {
   co_occurrence(std::size_t attr_a, std::size_t attr_b) const;
 
   /// Memoized WHERE compilations against this store's layouts (repeated
-  /// prepared-statement executions skip recompilation).
-  FilterCache& filter_cache() { return filter_cache_; }
+  /// prepared-statement executions skip recompilation). Views share the
+  /// builder's cache through their snapshot: programs are pure functions of
+  /// (predicates, layout, allocator state), so one memo serves every worker
+  /// and every version, and the builder's mutation invalidation reaches all
+  /// of them.
+  FilterCache& filter_cache() {
+    return snap_ != nullptr ? snap_->filter_cache() : filter_cache_;
+  }
+
+  /// Options::max_distinct (the distinct-stats cardinality cap).
+  std::size_t max_distinct() const { return max_distinct_; }
+  /// True once `attr`'s stored values diverged from the backing table.
+  bool attr_mutated(std::size_t attr) const { return attr_mutated_.at(attr); }
 
   /// Zone-map sketches: per (attribute, crossbar) min/max code plus a
   /// distinct-code bitmap for low-cardinality attributes. Built from the
@@ -159,9 +201,11 @@ class PimStore {
   }
 
   /// Bumped once per data mutation (note_mutation); lets callers detect
-  /// that cached derivations of store contents are stale.
+  /// that cached derivations of store contents are stale. Views report
+  /// their snapshot's published version (the update-log prefix length).
   std::uint64_t data_version() const {
-    return data_version_.load(std::memory_order_acquire);
+    return snap_ != nullptr ? snap_->version()
+                            : data_version_.load(std::memory_order_acquire);
   }
 
   /// Records that `attr`'s stored values changed in place: bumps
@@ -219,6 +263,8 @@ class PimStore {
   mutable std::mutex mutation_mutex_;
   std::atomic<std::thread::id> mutation_owner_{};
   std::atomic<std::uint64_t> data_version_{0};
+  /// Set iff this store is a view; pins the snapshot it serves.
+  std::shared_ptr<const StoreSnapshot> snap_;
 };
 
 }  // namespace bbpim::engine

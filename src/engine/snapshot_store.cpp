@@ -1,0 +1,198 @@
+#include "engine/snapshot_store.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "engine/pim_store.hpp"
+
+namespace bbpim::engine {
+
+SnapshotStats::SnapshotStats(const PimStore& builder)
+    : table_(&builder.table()),
+      records_(builder.record_count()),
+      max_distinct_(builder.max_distinct()) {
+  const std::size_t nattrs = table_->schema().attribute_count();
+  attr_mutated_.resize(nattrs);
+  distinct_.resize(nattrs);
+  distinct_stale_.assign(nattrs, false);
+  for (std::size_t a = 0; a < nattrs; ++a) {
+    attr_mutated_[a] = builder.attr_mutated(a);
+    // The accessor settles any staleness in the builder before we copy.
+    distinct_[a] = builder.distinct_values(a);
+  }
+}
+
+SnapshotStats::SnapshotStats(const SnapshotStats& prev,
+                             const std::vector<std::size_t>& touched_attrs)
+    : table_(prev.table_),
+      records_(prev.records_),
+      max_distinct_(prev.max_distinct_) {
+  // prev may be concurrently filling lazily; copy under its lock.
+  std::lock_guard<std::mutex> lock(prev.mutex_);
+  attr_mutated_ = prev.attr_mutated_;
+  distinct_ = prev.distinct_;
+  distinct_stale_ = prev.distinct_stale_;
+  fd_cache_ = prev.fd_cache_;
+  co_cache_ = prev.co_cache_;
+  for (const std::size_t a : touched_attrs) {
+    attr_mutated_.at(a) = true;
+    distinct_stale_.at(a) = true;
+    for (auto it = fd_cache_.begin(); it != fd_cache_.end();) {
+      it = (it->first.first == a || it->first.second == a)
+               ? fd_cache_.erase(it)
+               : std::next(it);
+    }
+    for (auto it = co_cache_.begin(); it != co_cache_.end();) {
+      it = (it->first.first == a || it->first.second == a)
+               ? co_cache_.erase(it)
+               : std::next(it);
+    }
+  }
+}
+
+std::uint64_t SnapshotStats::value_locked(const PimStore& reader,
+                                          std::size_t record,
+                                          std::size_t attr) const {
+  return attr_mutated_.at(attr) ? reader.read_attr(record, attr)
+                                : table_->column(attr)[record];
+}
+
+const std::optional<std::vector<std::uint64_t>>& SnapshotStats::distinct_locked(
+    std::size_t attr, const PimStore& reader) const {
+  if (distinct_stale_.at(attr)) {
+    // Same capping rule as the builder's load-time scan, read through the
+    // snapshot's crossbars.
+    std::unordered_set<std::uint64_t> seen;
+    bool capped = false;
+    for (std::size_t r = 0; r < records_; ++r) {
+      seen.insert(reader.read_attr(r, attr));
+      if (seen.size() > max_distinct_) {
+        capped = true;
+        break;
+      }
+    }
+    if (capped) {
+      distinct_[attr].reset();
+    } else {
+      std::vector<std::uint64_t> vals(seen.begin(), seen.end());
+      std::sort(vals.begin(), vals.end());
+      distinct_[attr] = std::move(vals);
+    }
+    distinct_stale_[attr] = false;
+  }
+  return distinct_.at(attr);
+}
+
+const std::optional<std::vector<std::uint64_t>>& SnapshotStats::distinct_values(
+    std::size_t attr, const PimStore& reader) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return distinct_locked(attr, reader);
+}
+
+const std::unordered_map<std::uint64_t, std::uint64_t>*
+SnapshotStats::functional_dependency(std::size_t attr_a, std::size_t attr_b,
+                                     const PimStore& reader) const {
+  if (attr_a == attr_b) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!distinct_locked(attr_a, reader) || !distinct_locked(attr_b, reader)) {
+    return nullptr;
+  }
+  const auto key = std::make_pair(attr_a, attr_b);
+  const auto it = fd_cache_.find(key);
+  if (it != fd_cache_.end()) {
+    return it->second ? &*it->second : nullptr;
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> map;
+  map.reserve(distinct_[attr_a]->size());
+  for (std::size_t r = 0; r < records_; ++r) {
+    const std::uint64_t va = value_locked(reader, r, attr_a);
+    const std::uint64_t vb = value_locked(reader, r, attr_b);
+    const auto [entry, fresh] = map.try_emplace(va, vb);
+    if (!fresh && entry->second != vb) {
+      fd_cache_.emplace(key, std::nullopt);  // violated: not a dependency
+      return nullptr;
+    }
+  }
+  auto [stored, ignored] = fd_cache_.emplace(key, std::move(map));
+  (void)ignored;
+  return &*stored->second;
+}
+
+const std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>*
+SnapshotStats::co_occurrence(std::size_t attr_a, std::size_t attr_b,
+                             const PimStore& reader) const {
+  if (attr_a == attr_b) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!distinct_locked(attr_a, reader) || !distinct_locked(attr_b, reader)) {
+    return nullptr;
+  }
+  const auto key = std::make_pair(attr_a, attr_b);
+  const auto it = co_cache_.find(key);
+  if (it != co_cache_.end()) return &it->second;
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> map;
+  map.reserve(distinct_[attr_a]->size());
+  for (std::size_t r = 0; r < records_; ++r) {
+    std::vector<std::uint64_t>& vals = map[value_locked(reader, r, attr_a)];
+    const std::uint64_t vb = value_locked(reader, r, attr_b);
+    if (std::find(vals.begin(), vals.end(), vb) == vals.end()) {
+      vals.push_back(vb);
+    }
+  }
+  for (auto& [a, vals] : map) std::sort(vals.begin(), vals.end());
+  auto [stored, fresh] = co_cache_.emplace(key, std::move(map));
+  (void)fresh;
+  return &stored->second;
+}
+
+StoreSnapshot::StoreSnapshot(
+    std::uint64_t version,
+    std::vector<std::vector<pim::CrossbarSegment>> segments,
+    std::size_t pages_per_part, std::shared_ptr<const ZoneMaps> zones,
+    std::shared_ptr<SnapshotStats> stats, FilterCache* filter_cache,
+    std::shared_ptr<std::atomic<std::int64_t>> live_counter)
+    : version_(version),
+      segments_(std::move(segments)),
+      pages_per_part_(pages_per_part),
+      zones_(std::move(zones)),
+      stats_(std::move(stats)),
+      filter_cache_(filter_cache),
+      live_counter_(std::move(live_counter)) {
+  if (live_counter_) live_counter_->fetch_add(1, std::memory_order_acq_rel);
+}
+
+StoreSnapshot::~StoreSnapshot() {
+  if (live_counter_) live_counter_->fetch_sub(1, std::memory_order_acq_rel);
+}
+
+std::shared_ptr<const StoreSnapshot> freeze_snapshot(
+    PimStore& builder, std::uint64_t version, const StoreSnapshot* prev,
+    const std::vector<std::size_t>& touched_attrs,
+    std::shared_ptr<std::atomic<std::int64_t>> live_counter) {
+  std::vector<std::vector<pim::CrossbarSegment>> segments;
+  segments.reserve(static_cast<std::size_t>(builder.parts()) *
+                   builder.pages_per_part());
+  for (int part = 0; part < builder.parts(); ++part) {
+    for (std::size_t p = 0; p < builder.pages_per_part(); ++p) {
+      pim::Page& page = builder.page(part, p);
+      std::vector<pim::CrossbarSegment> xbs;
+      xbs.reserve(page.crossbar_count());
+      for (std::uint32_t x = 0; x < page.crossbar_count(); ++x) {
+        xbs.push_back(page.crossbar(x).data_segment());
+      }
+      segments.push_back(std::move(xbs));
+    }
+  }
+  // The accessor settles staleness, so the copy is exact for this version.
+  auto zones = std::make_shared<const ZoneMaps>(builder.zone_maps());
+  auto stats = prev != nullptr
+                   ? std::make_shared<SnapshotStats>(prev->stats(),
+                                                     touched_attrs)
+                   : std::make_shared<SnapshotStats>(builder);
+  return std::make_shared<StoreSnapshot>(
+      version, std::move(segments), builder.pages_per_part(),
+      std::move(zones), std::move(stats), &builder.filter_cache(),
+      std::move(live_counter));
+}
+
+}  // namespace bbpim::engine

@@ -14,6 +14,10 @@ namespace bbpim::pim {
 
 /// Static description of the PIM module (Table I, "Single RRAM PIM Module").
 struct PimConfig {
+  /// Sentinel for Page / PimModule::allocate_pages `data_cols`: the whole
+  /// crossbar is the shareable data segment (no private scratch split).
+  static constexpr std::uint32_t kAllData = 0xFFFFFFFFu;
+
   // --- Geometry -----------------------------------------------------------
   std::uint32_t crossbar_rows = 1024;   ///< records per crossbar
   std::uint32_t crossbar_cols = 512;    ///< bits per record row

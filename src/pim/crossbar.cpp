@@ -7,22 +7,113 @@
 
 namespace bbpim::pim {
 
-Crossbar::Crossbar(std::uint32_t rows, std::uint32_t cols)
-    : rows_(rows),
-      cols_(cols),
-      words_per_col_((rows + kWordBits - 1) / kWordBits),
-      words_(static_cast<std::size_t>(cols) * words_per_col_, 0) {
+namespace {
+/// Dimension checks must run before the segment allocations in the member
+/// initializer list (cols - data_cols underflows on bad input).
+std::uint32_t checked_data_cols(std::uint32_t rows, std::uint32_t cols,
+                                std::uint32_t data_cols) {
   if (rows == 0 || cols == 0) {
     throw std::invalid_argument("Crossbar: zero dimension");
   }
-  if (rows % kWordBits != 0) {
+  if (rows % 64 != 0) {
     throw std::invalid_argument("Crossbar: rows must be a multiple of 64");
   }
+  if (data_cols > cols) {
+    throw std::invalid_argument("Crossbar: data_cols exceeds cols");
+  }
+  return data_cols;
+}
+}  // namespace
+
+Crossbar::Crossbar(std::uint32_t rows, std::uint32_t cols)
+    : Crossbar(rows, cols, cols) {}
+
+Crossbar::Crossbar(std::uint32_t rows, std::uint32_t cols,
+                   std::uint32_t data_cols)
+    : rows_(rows),
+      cols_(cols),
+      data_cols_(checked_data_cols(rows, cols, data_cols)),
+      words_per_col_((rows + kWordBits - 1) / kWordBits),
+      data_(std::make_shared<std::vector<std::uint64_t>>(
+          static_cast<std::size_t>(data_cols) * words_per_col_, 0)),
+      scratch_(static_cast<std::size_t>(cols - data_cols) * words_per_col_,
+               0) {}
+
+void Crossbar::detach_data() {
+  data_ = std::make_shared<std::vector<std::uint64_t>>(*data_);
 }
 
-void Crossbar::execute(const MicroOp& op) {
+void Crossbar::adopt_data(CrossbarSegment seg) {
+  if (!seg || seg->size() != data_->size()) {
+    throw std::invalid_argument("Crossbar::adopt_data: segment mismatch");
+  }
+  assert(staged_.empty());
+  data_ = std::move(seg);
+}
+
+std::uint64_t* Crossbar::find_staged(std::uint32_t col) {
+  for (auto& [c, buf] : staged_) {
+    if (c == col) return buf.data();
+  }
+  return nullptr;
+}
+
+const std::uint64_t* Crossbar::find_staged(std::uint32_t col) const {
+  for (const auto& [c, buf] : staged_) {
+    if (c == col) return buf.data();
+  }
+  return nullptr;
+}
+
+std::uint64_t* Crossbar::stage_col(std::uint32_t col) {
+  const std::uint64_t* src = column_words(col);
+  staged_.emplace_back(col,
+                       std::vector<std::uint64_t>(src, src + words_per_col_));
+  return staged_.back().second.data();
+}
+
+std::uint64_t* Crossbar::exec_out(std::uint32_t col) {
+  if (col < data_cols_) {
+    // A column already staged stays staged even if the segment meanwhile
+    // became exclusively ours — reconcile applies staged writes last, so a
+    // direct write here would be overwritten with stale bits.
+    if (std::uint64_t* s = find_staged(col)) return s;
+    if (data_.use_count() > 1) return stage_col(col);
+  }
+  return column_words(col);
+}
+
+const std::uint64_t* Crossbar::exec_in(std::uint32_t col) const {
+  if (!staged_.empty() && col < data_cols_) {
+    if (const std::uint64_t* s = find_staged(col)) return s;
+  }
+  return column_words(col);
+}
+
+void Crossbar::reconcile_staged() {
+  if (staged_.empty()) return;
+  bool changed = false;
+  for (const auto& [col, buf] : staged_) {
+    const std::uint64_t* cur = column_words(col);
+    if (!std::equal(buf.begin(), buf.end(), cur)) {
+      changed = true;
+      break;
+    }
+  }
+  if (changed) {
+    detach_data();
+    for (const auto& [col, buf] : staged_) {
+      std::copy(buf.begin(), buf.end(), column_words(col));
+    }
+  }
+  staged_.clear();
+}
+
+void Crossbar::execute_op(const MicroOp& op) {
   assert(op.out < cols_);
-  std::uint64_t* out = column_words(op.out);
+  // Resolve the output first: staging may grow staged_, which would
+  // invalidate input pointers resolved earlier.
+  std::uint64_t* out = exec_out(op.out);
   switch (op.kind) {
     case MicroOpKind::kInit0:
       std::fill(out, out + words_per_col_, 0ULL);
@@ -32,58 +123,42 @@ void Crossbar::execute(const MicroOp& op) {
       break;
     case MicroOpKind::kNot: {
       assert(op.a < cols_);
-      const std::uint64_t* a = column_words(op.a);
+      const std::uint64_t* a = exec_in(op.a);
       for (std::uint32_t w = 0; w < words_per_col_; ++w) out[w] = ~a[w];
       break;
     }
     case MicroOpKind::kNor: {
       assert(op.a < cols_ && op.b < cols_);
-      const std::uint64_t* a = column_words(op.a);
-      const std::uint64_t* b = column_words(op.b);
+      const std::uint64_t* a = exec_in(op.a);
+      const std::uint64_t* b = exec_in(op.b);
       for (std::uint32_t w = 0; w < words_per_col_; ++w) out[w] = ~(a[w] | b[w]);
       break;
     }
   }
+}
+
+void Crossbar::execute(const MicroOp& op) {
+  execute_op(op);
   ++uniform_row_writes_;
+  reconcile_staged();
 }
 
 void Crossbar::execute(const MicroProgram& prog) {
-  for (const MicroOp& op : prog) execute(op);
+  for (const MicroOp& op : prog) execute_op(op);
+  uniform_row_writes_ += prog.size();
+  reconcile_staged();
 }
 
 void Crossbar::execute_fused(const MicroProgram& prog,
                              std::span<const std::uint8_t> skip_init) {
   assert(skip_init.empty() || skip_init.size() == prog.size());
-  const std::uint32_t words = words_per_col_;
   for (std::size_t i = 0; i < prog.size(); ++i) {
     if (!skip_init.empty() && skip_init[i]) continue;
-    const MicroOp& op = prog[i];
-    assert(op.out < cols_);
-    std::uint64_t* out = column_words(op.out);
-    switch (op.kind) {
-      case MicroOpKind::kInit0:
-        std::fill(out, out + words, 0ULL);
-        break;
-      case MicroOpKind::kInit1:
-        std::fill(out, out + words, ~0ULL);
-        break;
-      case MicroOpKind::kNot: {
-        assert(op.a < cols_);
-        const std::uint64_t* a = column_words(op.a);
-        for (std::uint32_t w = 0; w < words; ++w) out[w] = ~a[w];
-        break;
-      }
-      case MicroOpKind::kNor: {
-        assert(op.a < cols_ && op.b < cols_);
-        const std::uint64_t* a = column_words(op.a);
-        const std::uint64_t* b = column_words(op.b);
-        for (std::uint32_t w = 0; w < words; ++w) out[w] = ~(a[w] | b[w]);
-        break;
-      }
-    }
+    execute_op(prog[i]);
   }
   // Skipped inits are still executed cycles: same wear as the per-op path.
   uniform_row_writes_ += prog.size();
+  reconcile_staged();
 }
 
 std::uint64_t Crossbar::read_row_bits(std::uint32_t row, std::uint32_t offset,
@@ -93,10 +168,9 @@ std::uint64_t Crossbar::read_row_bits(std::uint32_t row, std::uint32_t offset,
   }
   const std::uint32_t word = row / kWordBits;
   const std::uint32_t bit = row % kWordBits;
-  const std::uint64_t* col = column_words(offset) + word;
   std::uint64_t v = 0;
-  for (std::uint32_t i = 0; i < width; ++i, col += words_per_col_) {
-    v |= ((*col >> bit) & 1ULL) << i;
+  for (std::uint32_t i = 0; i < width; ++i) {
+    v |= ((column_words(offset + i)[word] >> bit) & 1ULL) << i;
   }
   return v;
 }
@@ -106,20 +180,26 @@ void Crossbar::write_row_bits(std::uint32_t row, std::uint32_t offset,
   if (width == 0 || width > 64 || offset + width > cols_ || row >= rows_) {
     throw std::out_of_range("Crossbar::write_row_bits");
   }
-  const std::uint32_t word = row / kWordBits;
-  const std::uint32_t bit = row % kWordBits;
-  const std::uint64_t mask = 1ULL << bit;
-  std::uint64_t* col = column_words(offset) + word;
-  for (std::uint32_t i = 0; i < width; ++i, col += words_per_col_) {
-    if ((value >> i) & 1ULL)
-      *col |= mask;
-    else
-      *col &= ~mask;
-  }
+  // Wear first: the row is driven whether or not the bits change.
   if (extra_row_writes_.empty()) extra_row_writes_.resize(rows_, 0);
   extra_row_writes_[row] += width;
   max_extra_row_writes_ =
       std::max<std::uint64_t>(max_extra_row_writes_, extra_row_writes_[row]);
+  if (offset < data_cols_ && data_.use_count() > 1) {
+    const std::uint64_t masked =
+        width == 64 ? value : value & ((1ULL << width) - 1);
+    if (read_row_bits(row, offset, width) == masked) return;
+    detach_data();
+  }
+  const std::uint32_t word = row / kWordBits;
+  const std::uint64_t mask = 1ULL << (row % kWordBits);
+  for (std::uint32_t i = 0; i < width; ++i) {
+    std::uint64_t* w = column_words(offset + i) + word;
+    if ((value >> i) & 1ULL)
+      *w |= mask;
+    else
+      *w &= ~mask;
+  }
 }
 
 BitVec Crossbar::column(std::uint32_t col) const {
@@ -145,9 +225,16 @@ void Crossbar::write_column(std::uint32_t col, const BitVec& bits) {
   if (bits.size() != rows_) {
     throw std::invalid_argument("Crossbar::write_column: size mismatch");
   }
+  ++uniform_row_writes_;
+  if (col < data_cols_ && data_.use_count() > 1) {
+    if (std::equal(bits.words().begin(), bits.words().end(),
+                   column_words(col))) {
+      return;
+    }
+    detach_data();
+  }
   std::uint64_t* dst = column_words(col);
   std::copy(bits.words().begin(), bits.words().end(), dst);
-  ++uniform_row_writes_;
 }
 
 bool Crossbar::bit(std::uint32_t row, std::uint32_t col) const {
@@ -157,6 +244,10 @@ bool Crossbar::bit(std::uint32_t row, std::uint32_t col) const {
 
 void Crossbar::set_bit(std::uint32_t row, std::uint32_t col, bool v) {
   if (row >= rows_ || col >= cols_) throw std::out_of_range("Crossbar::set_bit");
+  if (col < data_cols_ && data_.use_count() > 1) {
+    if (bit(row, col) == v) return;
+    detach_data();
+  }
   std::uint64_t* w = column_words(col) + row / kWordBits;
   const std::uint64_t mask = 1ULL << (row % kWordBits);
   if (v)

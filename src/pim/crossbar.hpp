@@ -5,9 +5,27 @@
 // columns. Query answers produced by the simulator are therefore exact and
 // are checked against a scalar reference in the tests. Cost (time, energy,
 // wear) is accounted one level up, by the PIM controller.
+//
+// Storage is split at `data_cols` into two segments. The DATA segment
+// (columns [0, data_cols)) holds record bits and is reference-counted: any
+// number of crossbars — and the immutable store snapshots of
+// engine/snapshot_store — may share one segment, and a write detaches a
+// private copy first (copy-on-write). The SCRATCH segment (columns
+// [data_cols, cols)) holds filter results, transfer staging and aggregation
+// outputs; it is always private to this crossbar. Detaching is value-aware
+// at program granularity: while the segment is shared, micro-op writes to
+// data columns are staged in a side buffer and reconciled once when the
+// program ends — the segment is cloned only if the program's net effect
+// changed the bits. That matters because the Algorithm-1 MUX rewrites every
+// row of the target field (unselected rows with their current value, via an
+// INIT1 + NOT pair whose intermediate state always differs), so an UPDATE
+// clones only the crossbars holding a selected record. By default
+// data_cols == cols: the whole crossbar is data and, with no sharing, every
+// write takes the plain in-place path.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -17,13 +35,21 @@
 
 namespace bbpim::pim {
 
+/// A shareable data segment: the packed words of columns [0, data_cols).
+using CrossbarSegment = std::shared_ptr<std::vector<std::uint64_t>>;
+
 /// A rows x cols bit matrix with column-parallel logic.
 class Crossbar {
  public:
   Crossbar(std::uint32_t rows, std::uint32_t cols);
+  /// Split storage: columns [0, data_cols) live in the shareable data
+  /// segment, the rest in private scratch. data_cols may equal cols (all
+  /// data, no scratch segment) but must not exceed it.
+  Crossbar(std::uint32_t rows, std::uint32_t cols, std::uint32_t data_cols);
 
   std::uint32_t rows() const { return rows_; }
   std::uint32_t cols() const { return cols_; }
+  std::uint32_t data_cols() const { return data_cols_; }
 
   /// Executes one micro-op across all rows. Bumps the uniform wear counter
   /// (every micro-op writes its output column: one cell per row).
@@ -69,9 +95,12 @@ class Crossbar {
 
   /// Mutable word view of a column — the word-level evaluator's write path
   /// (pim/wordeval). Deliberately records no wear: the caller charges the
-  /// equivalent gate program's cycles via add_uniform_wear.
+  /// equivalent gate program's cycles via add_uniform_wear. Data columns
+  /// detach a shared segment unconditionally (the caller's writes cannot be
+  /// compared against the current contents from here).
   std::uint64_t* column_data_mut(std::uint32_t col) {
     if (col >= cols_) throw std::out_of_range("Crossbar::column_data_mut");
+    if (col < data_cols_ && data_.use_count() > 1) detach_data();
     return column_words(col);
   }
 
@@ -83,6 +112,18 @@ class Crossbar {
   /// Single-bit accessors (test/diagnostic use).
   bool bit(std::uint32_t row, std::uint32_t col) const;
   void set_bit(std::uint32_t row, std::uint32_t col, bool v);
+
+  // --- Data-segment sharing (engine/snapshot_store) -------------------------
+  /// The data segment, shareable with other crossbars/snapshots. Holders
+  /// must treat the words as immutable; this crossbar detaches before any
+  /// mutating access while the segment is shared.
+  const CrossbarSegment& data_segment() const { return data_; }
+  /// Replaces the data segment with `seg` (same size required). The view
+  /// path of engine::PimStore uses this to point a worker's crossbars at a
+  /// store snapshot's immutable data.
+  void adopt_data(CrossbarSegment seg);
+  /// True while the data segment is shared with at least one other holder.
+  bool data_shared() const { return data_.use_count() > 1; }
 
   // --- Wear accounting ------------------------------------------------------
   /// Writes applied uniformly to every row (one per executed micro-op).
@@ -109,16 +150,49 @@ class Crossbar {
   static constexpr std::uint32_t kWordBits = 64;
 
   std::uint64_t* column_words(std::uint32_t col) {
-    return words_.data() + static_cast<std::size_t>(col) * words_per_col_;
+    return col < data_cols_
+               ? data_->data() + static_cast<std::size_t>(col) * words_per_col_
+               : scratch_.data() +
+                     static_cast<std::size_t>(col - data_cols_) * words_per_col_;
   }
   const std::uint64_t* column_words(std::uint32_t col) const {
-    return words_.data() + static_cast<std::size_t>(col) * words_per_col_;
+    return col < data_cols_
+               ? data_->data() + static_cast<std::size_t>(col) * words_per_col_
+               : scratch_.data() +
+                     static_cast<std::size_t>(col - data_cols_) * words_per_col_;
   }
+
+  /// Clones the data segment so this crossbar owns it exclusively.
+  void detach_data();
+
+  /// Functional execution of one micro-op; wear is the caller's business.
+  /// While the data segment is shared, writes to data columns land in the
+  /// staging buffer and reads consult it, so a program observes its own
+  /// intermediate states without touching the shared words.
+  void execute_op(const MicroOp& op);
+  /// Output/input column resolution for execute_op (staging-aware).
+  std::uint64_t* exec_out(std::uint32_t col);
+  const std::uint64_t* exec_in(std::uint32_t col) const;
+  /// Staged buffer for `col`, or nullptr if the column is not staged.
+  std::uint64_t* find_staged(std::uint32_t col);
+  const std::uint64_t* find_staged(std::uint32_t col) const;
+  /// Stages `col`: copies its current words into a fresh buffer.
+  std::uint64_t* stage_col(std::uint32_t col);
+  /// Ends a program: if any staged column's net value differs from the
+  /// shared segment, detaches and applies the staged writes; otherwise the
+  /// shared segment is kept untouched. Always clears the staging buffer.
+  void reconcile_staged();
 
   std::uint32_t rows_;
   std::uint32_t cols_;
+  std::uint32_t data_cols_;
   std::uint32_t words_per_col_;
-  std::vector<std::uint64_t> words_;  // column-major
+  CrossbarSegment data_;                 // columns [0, data_cols), column-major
+  std::vector<std::uint64_t> scratch_;   // columns [data_cols, cols)
+  // Program-scoped staging of writes to shared data columns: (column,
+  // words). Empty except mid-program while the segment is shared; small —
+  // one entry per target-field bit of an UPDATE's MUX.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint64_t>>> staged_;
 
   std::uint64_t uniform_row_writes_ = 0;
   std::uint64_t max_extra_row_writes_ = 0;

@@ -5,12 +5,14 @@
 
 namespace bbpim::pim {
 
-std::size_t PimModule::allocate_pages(std::size_t n) {
+std::size_t PimModule::allocate_pages(std::size_t n, std::uint32_t data_cols) {
   const std::size_t first = pages_.size();
   if ((pages_.size() + n) * cfg_.page_bytes() > cfg_.capacity_bytes) {
     throw std::runtime_error("PimModule: capacity exceeded");
   }
-  for (std::size_t i = 0; i < n; ++i) pages_.emplace_back(first + i, cfg_);
+  for (std::size_t i = 0; i < n; ++i) {
+    pages_.emplace_back(first + i, cfg_, data_cols);
+  }
   return first;
 }
 

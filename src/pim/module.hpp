@@ -33,7 +33,10 @@ class PimModule {
   const PimConfig& config() const { return cfg_; }
 
   /// Materializes `n` fresh pages; returns the index of the first.
-  std::size_t allocate_pages(std::size_t n);
+  /// `data_cols` (see Crossbar) bounds the shareable data segment of every
+  /// crossbar in the new pages; the default keeps whole crossbars as data.
+  std::size_t allocate_pages(std::size_t n,
+                             std::uint32_t data_cols = PimConfig::kAllData);
 
   std::size_t page_count() const { return pages_.size(); }
   Page& page(std::size_t i) { return pages_.at(i); }

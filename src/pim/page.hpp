@@ -17,10 +17,16 @@ namespace bbpim::pim {
 
 class Page {
  public:
-  Page(std::size_t id, const PimConfig& cfg) : id_(id) {
+  /// `data_cols` splits every crossbar of the page into a shareable data
+  /// segment and private scratch (see Crossbar); the default keeps the
+  /// whole crossbar as data.
+  Page(std::size_t id, const PimConfig& cfg,
+       std::uint32_t data_cols = PimConfig::kAllData)
+      : id_(id) {
+    if (data_cols == PimConfig::kAllData) data_cols = cfg.crossbar_cols;
     crossbars_.reserve(cfg.crossbars_per_page);
     for (std::uint32_t i = 0; i < cfg.crossbars_per_page; ++i) {
-      crossbars_.emplace_back(cfg.crossbar_rows, cfg.crossbar_cols);
+      crossbars_.emplace_back(cfg.crossbar_rows, cfg.crossbar_cols, data_cols);
     }
   }
 

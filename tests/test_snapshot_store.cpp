@@ -1,0 +1,318 @@
+// Snapshot subsystem (engine::StoreSnapshot + db::SnapshotManager):
+// epoch-pinned MVCC snapshots over one shared builder store.
+//
+// What must hold, and is asserted here:
+//   - Copy-on-write isolation: an UPDATE publishes a successor version
+//     without touching readers pinned to the old one, and detaches only
+//     the crossbars whose bits actually change (the rest share segments).
+//   - Epoch reclamation: retired snapshots die exactly when their last
+//     pinned reader drains; live_snapshots() never grows with history.
+//   - Concurrent pin/unpin: readers racing a writer always observe a
+//     store whose contents are a committed log prefix, byte-consistent
+//     per version (run under TSan in CI).
+//   - Store-equals-log-fold: after a concurrent mixed run, the final
+//     shared store equals a serial replay of the committed update order —
+//     the regression that pinned the htap_mix workers=4 final-checksum
+//     divergence (non-commuting updates replayed out of commit order).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/db.hpp"
+#include "db/snapshot_manager.hpp"
+#include "engine_test_util.hpp"
+#include "sql/parser.hpp"
+
+namespace bbpim {
+namespace {
+
+sql::BoundUpdate bound(const rel::Table& table, const std::string& sql_text) {
+  return sql::bind_update(sql::parse_statement(sql_text).update,
+                          table.schema());
+}
+
+/// Update programs need more scratch than the 128-column test geometry
+/// leaves (same widening test_htap_determinism uses).
+pim::PimConfig update_capable_pim() {
+  pim::PimConfig pim = testutil::small_pim_config();
+  pim.crossbar_cols = 256;
+  return pim;
+}
+
+struct ManagerFixture {
+  pim::PimConfig pim = update_capable_pim();
+  host::HostConfig hcfg;
+  db::Database database;
+  const rel::Table* table = nullptr;
+  db::SnapshotManager* mgr = nullptr;
+
+  explicit ManagerFixture(std::size_t rows = 600, std::uint64_t seed = 42) {
+    table = &database.register_table(testutil::make_synthetic_table(rows, seed));
+    mgr = &database.snapshot_manager(*table, /*two_crossbar=*/false, pim);
+  }
+
+  /// A fresh view store pinned to `snap` (private scratch, shared data).
+  struct View {
+    pim::PimModule module;
+    engine::PimStore store;
+    View(const ManagerFixture& fx,
+         std::shared_ptr<const engine::StoreSnapshot> snap)
+        : module(fx.pim),
+          store(module, *fx.table, fx.mgr->store_options(), std::move(snap)) {}
+  };
+};
+
+TEST(SnapshotStore, CopyOnWriteIsolatesPinnedReaders) {
+  ManagerFixture fx;
+  const auto snap0 = fx.mgr->acquire(fx.hcfg);
+  EXPECT_EQ(snap0->version(), 0u);
+  EXPECT_TRUE(snap0.get() == fx.mgr->acquire(fx.hcfg).get())
+      << "re-acquiring an unchanged version must return the same snapshot";
+
+  ManagerFixture::View view0(fx, snap0);
+  EXPECT_TRUE(view0.store.is_view());
+  const std::uint64_t checksum0 = view0.store.contents_checksum();
+
+  // A selective update: rewrite f_val2 of the rows sharing record 0's
+  // f_key. Only the crossbars holding those rows change bits.
+  const std::size_t f_key = *fx.table->schema().index_of("f_key");
+  const std::size_t f_val2 = *fx.table->schema().index_of("f_val2");
+  const std::uint64_t key = fx.table->column(f_key)[0];
+  const std::uint64_t fresh = (fx.table->column(f_val2)[0] + 1) % 50;
+  std::uint64_t version = 0;
+  const engine::UpdateStats stats = fx.mgr->apply_update(
+      bound(*fx.table, "UPDATE synthetic SET f_val2 = " +
+                           std::to_string(fresh) + " WHERE f_key = " +
+                           std::to_string(key)),
+      fx.hcfg, &version);
+  EXPECT_EQ(version, 1u);
+  EXPECT_GE(stats.updated_records, 1u);
+
+  const auto snap1 = fx.mgr->acquire(fx.hcfg);
+  EXPECT_EQ(snap1->version(), 1u);
+
+  // The pinned v0 reader is untouched; a v1 reader sees the write.
+  EXPECT_EQ(view0.store.contents_checksum(), checksum0);
+  EXPECT_EQ(view0.store.read_attr(0, f_val2), fx.table->column(f_val2)[0]);
+  ManagerFixture::View view1(fx, snap1);
+  EXPECT_NE(view1.store.contents_checksum(), checksum0);
+  EXPECT_EQ(view1.store.read_attr(0, f_val2), fresh);
+
+  // CoW granularity: the versions share every crossbar segment except the
+  // few whose rows the update actually rewrote.
+  std::size_t shared = 0, total = 0;
+  for (std::size_t p = 0; p < view1.store.pages_per_part(); ++p) {
+    for (std::uint32_t x = 0; x < fx.pim.crossbars_per_page; ++x) {
+      ++total;
+      shared += snap0->segment(0, p, x).get() == snap1->segment(0, p, x).get();
+    }
+  }
+  EXPECT_LT(shared, total) << "the touched crossbar must have detached";
+  EXPECT_GT(shared, total / 2)
+      << "a selective update must leave most crossbars shared";
+}
+
+TEST(SnapshotStore, RetiredSnapshotsReclaimWhenReadersDrain) {
+  ManagerFixture fx;
+  auto current = fx.mgr->acquire(fx.hcfg);
+  EXPECT_EQ(fx.mgr->live_snapshots(), 1);
+
+  // A dozen update rounds with a reader that re-pins each round: history
+  // grows, the live set does not.
+  const std::string toggle[] = {
+      "UPDATE synthetic SET d_tag = 7 WHERE d_tag = 1",
+      "UPDATE synthetic SET d_tag = 1 WHERE d_tag = 7",
+  };
+  for (int round = 0; round < 12; ++round) {
+    fx.mgr->apply_update(bound(*fx.table, toggle[round % 2]), fx.hcfg,
+                         nullptr);
+    current = fx.mgr->acquire(fx.hcfg);  // drop the old pin, pin the new
+    EXPECT_EQ(current->version(), static_cast<std::uint64_t>(round + 1));
+    EXPECT_EQ(fx.mgr->live_snapshots(), 1)
+        << "retired versions must die when their last reader drains";
+  }
+  EXPECT_EQ(fx.mgr->published_count(), 13u);  // v0 + 12 updates
+
+  // A stale pin keeps exactly its version alive — and only until released.
+  const auto pinned = current;
+  fx.mgr->apply_update(bound(*fx.table, toggle[0]), fx.hcfg, nullptr);
+  current = fx.mgr->acquire(fx.hcfg);
+  EXPECT_EQ(fx.mgr->live_snapshots(), 2);
+  ManagerFixture::View stale_view(fx, pinned);
+  const std::uint64_t stale_checksum = stale_view.store.contents_checksum();
+  EXPECT_NE(stale_checksum, 0u);
+}
+
+TEST(SnapshotStore, StalePinReleasesAfterLastReader) {
+  ManagerFixture fx;
+  auto pinned = fx.mgr->acquire(fx.hcfg);
+  fx.mgr->apply_update(
+      bound(*fx.table, "UPDATE synthetic SET d_tag = 7 WHERE d_tag = 1"),
+      fx.hcfg, nullptr);
+  const auto current = fx.mgr->acquire(fx.hcfg);
+  EXPECT_EQ(fx.mgr->live_snapshots(), 2);
+  pinned.reset();
+  EXPECT_EQ(fx.mgr->live_snapshots(), 1);
+}
+
+TEST(SnapshotStore, ConcurrentReadersSeeConsistentVersions) {
+  ManagerFixture fx(500, 77);
+  constexpr int kReaders = 3;
+  constexpr int kUpdates = 8;
+
+  std::mutex mu;
+  std::map<std::uint64_t, std::uint64_t> checksum_of_version;
+  bool mismatch = false;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&fx, &mu, &checksum_of_version, &mismatch, &stop] {
+      ManagerFixture::View view(fx, fx.mgr->acquire(fx.hcfg));
+      do {
+        const auto snap = fx.mgr->acquire(fx.hcfg);
+        view.store.adopt(snap);
+        const std::uint64_t ck = view.store.contents_checksum();
+        std::lock_guard lock(mu);
+        const auto [it, inserted] =
+            checksum_of_version.emplace(snap->version(), ck);
+        if (!inserted && it->second != ck) mismatch = true;
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  const std::string updates[] = {
+      "UPDATE synthetic SET d_tag = 7 WHERE d_tag = 1",
+      "UPDATE synthetic SET f_val2 = 13 WHERE f_gid = 2",
+      "UPDATE synthetic SET d_tag = 1 WHERE d_tag = 7",
+      "UPDATE synthetic SET f_val2 = 5 WHERE f_val2 = 13",
+  };
+  for (int i = 0; i < kUpdates; ++i) {
+    fx.mgr->apply_update(bound(*fx.table, updates[i % std::size(updates)]),
+                         fx.hcfg, nullptr);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(mismatch)
+      << "two readers pinned to one version read different bytes";
+
+  // Every observed version's checksum must equal the serial fold of that
+  // log prefix on a fresh builder.
+  ManagerFixture oracle(500, 77);
+  auto expect_matches = [&](std::uint64_t version) {
+    const auto it = checksum_of_version.find(version);
+    if (it == checksum_of_version.end()) return;
+    ManagerFixture::View view(oracle, oracle.mgr->acquire(oracle.hcfg));
+    EXPECT_EQ(view.store.contents_checksum(), it->second)
+        << "version " << version << " diverged from its serial log fold";
+  };
+  expect_matches(0);
+  for (int i = 0; i < kUpdates; ++i) {
+    oracle.mgr->apply_update(
+        bound(*oracle.table, updates[i % std::size(updates)]), oracle.hcfg,
+        nullptr);
+    expect_matches(static_cast<std::uint64_t>(i) + 1);
+  }
+}
+
+TEST(SnapshotStore, CommitOrderOfNonCommutingUpdatesIsPinnedByTheLog) {
+  // These two renames do not commute: applied 1→2 then 2→3, the original
+  // tag-1 rows end at 3; applied 2→3 then 1→2, they end at 2. The update
+  // log's commit order is therefore load-bearing — any replay (a fresh
+  // builder, the serial oracle) must fold the log in order, which is
+  // exactly what the htap_mix workers=4 checksum divergence came down to.
+  const std::string u12 = "UPDATE synthetic SET d_tag = 2 WHERE d_tag = 1";
+  const std::string u23 = "UPDATE synthetic SET d_tag = 3 WHERE d_tag = 2";
+
+  ManagerFixture ab;
+  ab.mgr->apply_update(bound(*ab.table, u12), ab.hcfg, nullptr);
+  ab.mgr->apply_update(bound(*ab.table, u23), ab.hcfg, nullptr);
+  ManagerFixture::View view_ab(ab, ab.mgr->acquire(ab.hcfg));
+
+  ManagerFixture ba;
+  ba.mgr->apply_update(bound(*ba.table, u23), ba.hcfg, nullptr);
+  ba.mgr->apply_update(bound(*ba.table, u12), ba.hcfg, nullptr);
+  ManagerFixture::View view_ba(ba, ba.mgr->acquire(ba.hcfg));
+
+  EXPECT_NE(view_ab.store.contents_checksum(),
+            view_ba.store.contents_checksum());
+}
+
+TEST(SnapshotStore, ConcurrentFinalStoreEqualsCommittedLogFold) {
+  // Regression for the htap_mix workers=4 final-checksum divergence: after
+  // a concurrent mixed run, the shared store must equal a single-threaded
+  // replay of the updates in COMMITTED order (recovered from each update's
+  // data_version). Under the retired per-worker-replica design this held
+  // only when updates commuted; the shared-builder design makes it
+  // structural.
+  db::SessionOptions opts;
+  opts.pim = update_capable_pim();
+
+  db::Database database;
+  database.register_table(testutil::make_synthetic_table(600, 9));
+  db::QueryServiceOptions service_opts;
+  service_opts.workers = 4;
+  service_opts.session = opts;
+  db::QueryService service(database, service_opts);
+  service.warm_up(db::BackendKind::kOneXb);
+
+  // Deliberately non-commuting chains racing each other across workers.
+  const std::string updates[] = {
+      "UPDATE synthetic SET d_tag = 2 WHERE d_tag = 1",
+      "UPDATE synthetic SET d_tag = 3 WHERE d_tag = 2",
+      "UPDATE synthetic SET d_tag = 1 WHERE d_tag = 3",
+      "UPDATE synthetic SET f_val2 = 21 WHERE f_gid = 1",
+      "UPDATE synthetic SET f_val2 = 8 WHERE f_val2 = 21",
+  };
+  std::vector<std::pair<std::string, std::future<db::ResultSet>>> submitted;
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& u : updates) {
+      submitted.emplace_back(u, service.submit(u));
+    }
+    submitted.emplace_back("SELECT COUNT(*) FROM synthetic",
+                           service.submit("SELECT COUNT(*) FROM synthetic"));
+  }
+  std::map<std::uint64_t, std::string> committed;  // version -> sql
+  for (auto& [sql_text, future] : submitted) {
+    const db::ResultSet rs = future.get();
+    if (rs.is_update()) {
+      ASSERT_TRUE(committed.emplace(rs.data_version(), sql_text).second)
+          << "two updates committed at one log position";
+    }
+  }
+  service.shutdown();
+  ASSERT_EQ(committed.size(), 15u);
+
+  // Serial fold of the committed order on a fresh database.
+  db::Database oracle_db;
+  oracle_db.register_table(testutil::make_synthetic_table(600, 9));
+  db::Session oracle(oracle_db, opts);
+  for (const auto& [version, sql_text] : committed) {
+    const db::ResultSet rs =
+        oracle.execute(sql_text, db::BackendKind::kOneXb);
+    EXPECT_EQ(rs.data_version(), version);
+  }
+
+  // The concurrent database's current store must equal the fold.
+  db::Session reader(database, opts);
+  reader.execute("SELECT COUNT(*) FROM synthetic", db::BackendKind::kOneXb);
+  EXPECT_EQ(reader.pim_engine(engine::EngineKind::kOneXb)
+                .store()
+                .contents_checksum(),
+            oracle.pim_engine(engine::EngineKind::kOneXb)
+                .store()
+                .contents_checksum());
+}
+
+}  // namespace
+}  // namespace bbpim
