@@ -7,6 +7,7 @@
 
 #include "db/session.hpp"
 #include "db/snapshot_manager.hpp"
+#include "db/statement.hpp"
 
 namespace bbpim::db {
 
@@ -61,6 +62,10 @@ Database::Database(Database&& other) noexcept {
                  std::memory_order_release);
   writes_ = std::move(other.writes_);
   snapshots_ = std::move(other.snapshots_);
+  plans_ = std::move(other.plans_);
+  plans_version_ = other.plans_version_;
+  plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
 }
 
 Database& Database::operator=(Database&& other) noexcept {
@@ -73,6 +78,10 @@ Database& Database::operator=(Database&& other) noexcept {
                    std::memory_order_release);
     writes_ = std::move(other.writes_);
     snapshots_ = std::move(other.snapshots_);
+    plans_ = std::move(other.plans_);
+    plans_version_ = other.plans_version_;
+    plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
   }
   return *this;
 }
@@ -203,6 +212,42 @@ SnapshotManager& Database::snapshot_manager(const rel::Table& table,
                                              two_crossbar, pim);
   }
   return *slot;
+}
+
+std::shared_ptr<const Plan> Database::find_plan(std::string_view sql) {
+  const std::uint64_t version = catalog_version();
+  std::lock_guard lock(plans_mutex_);
+  if (plans_version_ != version) {
+    plans_.clear();
+    plans_version_ = version;
+  }
+  const auto it = plans_.find(sql);
+  if (it == plans_.end()) return nullptr;
+  plan_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void Database::cache_plan(std::shared_ptr<const Plan> plan) {
+  if (plan == nullptr) return;
+  const std::uint64_t version = catalog_version();
+  std::lock_guard lock(plans_mutex_);
+  if (plans_version_ != version) {
+    plans_.clear();
+    plans_version_ = version;
+  }
+  // First writer wins: two sessions that raced the same bind publish
+  // equivalent plans, and handles to the loser stay valid (shared_ptr).
+  plans_.emplace(plan->sql, std::move(plan));
+}
+
+std::size_t Database::plan_cache_size() {
+  const std::uint64_t version = catalog_version();
+  std::lock_guard lock(plans_mutex_);
+  if (plans_version_ != version) {
+    plans_.clear();
+    plans_version_ = version;
+  }
+  return plans_.size();
 }
 
 Session Database::connect() { return Session(*this); }

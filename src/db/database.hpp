@@ -29,6 +29,7 @@ namespace bbpim::db {
 struct SessionOptions;
 class Session;
 class SnapshotManager;
+struct Plan;
 
 /// How a table is placed into PIM when a session loads it.
 struct LoadPolicy {
@@ -139,6 +140,24 @@ class Database {
   SnapshotManager& snapshot_manager(const rel::Table& table, bool two_crossbar,
                                     const pim::PimConfig& pim);
 
+  // --- bound-plan cache ----------------------------------------------------
+  // Database-scope: N sessions (QueryService workers) preparing the same SQL
+  // text bind it ONCE — the first session's plan is shared by all. Keyed by
+  // exact SQL text; the whole cache is invalidated when the catalog version
+  // moves (registration / default-target change can alter FROM resolution),
+  // so a cached plan is always bound against the current catalog.
+
+  /// The cached plan for `sql`, or null. Counts a hit when found.
+  std::shared_ptr<const Plan> find_plan(std::string_view sql);
+  /// Publishes a freshly bound plan (first writer wins on a race).
+  void cache_plan(std::shared_ptr<const Plan> plan);
+  std::size_t plan_cache_size();
+  /// find_plan calls that returned a plan (the observable half of the
+  /// prepare-once guarantee across workers).
+  std::uint64_t plan_cache_hits() const {
+    return plan_hits_.load(std::memory_order_relaxed);
+  }
+
   /// Opens a session over this catalog (must not outlive the database).
   Session connect();
   Session connect(SessionOptions opts);
@@ -171,6 +190,13 @@ class Database {
   std::map<std::tuple<const rel::Table*, bool, std::uint64_t>,
            std::unique_ptr<SnapshotManager>>
       snapshots_;
+  /// Shared bound plans keyed by SQL text, valid for catalog version
+  /// plans_version_ (lazily cleared when the catalog moves). Guarded by
+  /// plans_mutex_; hit counting is lock-free.
+  std::mutex plans_mutex_;
+  std::map<std::string, std::shared_ptr<const Plan>, std::less<>> plans_;
+  std::uint64_t plans_version_ = 0;
+  std::atomic<std::uint64_t> plan_hits_{0};
 };
 
 }  // namespace bbpim::db

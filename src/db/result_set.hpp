@@ -95,6 +95,18 @@ class ResultSet {
   /// Facade-internal (set by PreparedStatement::execute).
   void set_data_version(std::uint64_t version) { data_version_ = version; }
 
+  /// Join results: the (table name, data version) pair each per-table scan
+  /// was pinned to — exactly one consistent snapshot per touched table.
+  /// Empty for single-table results. data_version() is the fact table's.
+  const std::vector<std::pair<std::string, std::uint64_t>>& table_versions()
+      const {
+    return table_versions_;
+  }
+  void set_table_versions(
+      std::vector<std::pair<std::string, std::uint64_t>> versions) {
+    table_versions_ = std::move(versions);
+  }
+
  private:
   const engine::ResultRow& row(std::size_t r) const;
 
@@ -103,6 +115,7 @@ class ResultSet {
   BackendKind backend_ = BackendKind::kReference;
   std::optional<engine::UpdateStats> update_stats_;
   std::uint64_t data_version_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> table_versions_;
 };
 
 }  // namespace bbpim::db

@@ -12,6 +12,7 @@
 #include "baseline/reference.hpp"
 #include "db/snapshot_manager.hpp"
 #include "engine/explain.hpp"
+#include "engine/hash_join.hpp"
 #include "engine/pim_store.hpp"
 #include "engine/prejoin.hpp"
 #include "pim/module.hpp"
@@ -30,6 +31,20 @@ std::vector<ResultSet::Column> result_columns(const sql::BoundQuery& q,
   }
   ResultSet::Column agg;
   agg.name = q.agg_alias.empty() ? "agg" : q.agg_alias;
+  agg.is_agg = true;
+  cols.push_back(std::move(agg));
+  return cols;
+}
+
+std::vector<ResultSet::Column> join_result_columns(
+    const sql::BoundJoin& jp, const std::vector<const rel::Table*>& tables) {
+  std::vector<ResultSet::Column> cols;
+  for (const sql::BoundColumnRef& g : jp.group_by) {
+    const rel::Attribute& a = tables[g.table]->schema().attribute(g.attr);
+    cols.push_back({a.name, false, a.dict});
+  }
+  ResultSet::Column agg;
+  agg.name = jp.agg_alias.empty() ? "agg" : jp.agg_alias;
   agg.is_agg = true;
   cols.push_back(std::move(agg));
   return cols;
@@ -100,8 +115,23 @@ class PimExecutor final : public Executor {
     return observed_version_;
   }
 
+  engine::ScanOutput execute_scan(
+      const std::vector<sql::BoundPredicate>& filters,
+      const std::vector<std::size_t>& attrs,
+      const engine::ExecOptions& opts) override {
+    refresh();
+    engine::ScanOutput out = engine_.execute_scan(filters, attrs, opts);
+    observed_version_ = snap_->version();
+    return out;
+  }
+
   std::string explain(const sql::BoundQuery& q) override {
     return engine::explain_query(q, store_);
+  }
+
+  std::string explain_scan(
+      const std::vector<sql::BoundPredicate>& filters) override {
+    return engine::explain_scan(filters, store_);
   }
 
   void ensure_models() {
@@ -219,6 +249,39 @@ class ReferenceExecutor final : public Executor {
     out.stats.selectivity =
         table_->row_count() > 0
             ? static_cast<double>(run.selected_records) / table_->row_count()
+            : 0.0;
+    return out;
+  }
+
+  /// Exact row-at-a-time scan of the catalog table: the oracle half of the
+  /// join parity tests. No cost model (stats stay zero).
+  engine::ScanOutput execute_scan(
+      const std::vector<sql::BoundPredicate>& filters,
+      const std::vector<std::size_t>& attrs,
+      const engine::ExecOptions& opts) override {
+    reject_pim_exec_options(backend(), opts);
+    reject_updated_table(backend(), *db_, *table_);
+    engine::ScanOutput out;
+    out.columns.resize(attrs.size());
+    for (std::size_t r = 0; r < table_->row_count(); ++r) {
+      bool pass = true;
+      for (const sql::BoundPredicate& p : filters) {
+        if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+        if (!p.matches(table_->value(r, p.attr))) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      out.row_ids.push_back(r);
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        out.columns[i].push_back(table_->value(r, attrs[i]));
+      }
+    }
+    out.stats.selected_records = out.row_ids.size();
+    out.stats.selectivity =
+        table_->row_count() > 0
+            ? static_cast<double>(out.row_ids.size()) / table_->row_count()
             : 0.0;
     return out;
   }
@@ -398,6 +461,9 @@ ResultSet PreparedStatement::execute(BackendKind backend,
   if (session_ == nullptr) {
     throw std::logic_error("PreparedStatement: not prepared by a session");
   }
+  if (plan_->is_join()) {
+    return session_->execute_join(*plan_, backend, opts);
+  }
   Executor& ex = session_->executor_for(backend, *plan_->target);
   if (plan_->kind == sql::Statement::Kind::kUpdate) {
     const UpdateResult result = ex.execute_update(plan_->update, opts);
@@ -428,6 +494,21 @@ std::string Executor::explain(const sql::BoundQuery&) {
                               "' has no physical plan rendering");
 }
 
+engine::ScanOutput Executor::execute_scan(
+    const std::vector<sql::BoundPredicate>&, const std::vector<std::size_t>&,
+    const engine::ExecOptions&) {
+  throw std::invalid_argument(
+      std::string("execute: backend '") + backend_name(backend()) +
+      "' has no per-table scan path (joins run on PIM or reference "
+      "backends; the columnar baseline models pre-joined plans only)");
+}
+
+std::string Executor::explain_scan(const std::vector<sql::BoundPredicate>&) {
+  throw std::invalid_argument(std::string("explain: backend '") +
+                              backend_name(backend()) +
+                              "' has no physical plan rendering");
+}
+
 Session::Session(Database& db, SessionOptions opts)
     : db_(&db), opts_(std::move(opts)) {
   model_cache_ = opts_.models != nullptr
@@ -451,25 +532,128 @@ PreparedStatement Session::prepare(std::string_view sql_text) {
   }
   auto it = plans_.find(sql_text);
   if (it == plans_.end()) {
-    auto plan = std::make_shared<Plan>();
-    plan->sql = std::string(sql_text);
-    const sql::Statement stmt = sql::parse_statement(plan->sql);
-    plan->kind = stmt.kind;
-    if (stmt.kind == sql::Statement::Kind::kUpdate) {
-      // UPDATE targets resolve like FROM lists: a registered table by name,
-      // else the default target (SSB updates name logical source tables the
-      // pre-joined relation subsumes).
-      const rel::Table& target = db_->resolve_target({stmt.update.table});
-      plan->update = sql::bind_update(stmt.update, target.schema());
-      plan->target = &target;
-    } else {
-      const rel::Table& target = db_->resolve_target(stmt.select.from);
-      plan->bound = sql::bind(stmt.select, target.schema());
-      plan->target = &target;
+    // Session miss: consult the Database-scope cache so N sessions bind a
+    // shared statement once, then publish a fresh bind for the next session.
+    std::shared_ptr<const Plan> plan = db_->find_plan(sql_text);
+    if (plan == nullptr) {
+      plan = build_plan(sql_text);
+      db_->cache_plan(plan);
     }
     it = plans_.emplace(plan->sql, std::move(plan)).first;
   }
   return PreparedStatement(*this, it->second);
+}
+
+std::shared_ptr<const Plan> Session::build_plan(std::string_view sql_text) {
+  auto plan = std::make_shared<Plan>();
+  plan->sql = std::string(sql_text);
+  const sql::Statement stmt = sql::parse_statement(plan->sql);
+  plan->kind = stmt.kind;
+  if (stmt.kind == sql::Statement::Kind::kUpdate) {
+    // UPDATE targets resolve like FROM lists: a registered table by name,
+    // else the default target (SSB updates name logical source tables the
+    // pre-joined relation subsumes).
+    const rel::Table& target = db_->resolve_target({stmt.update.table});
+    plan->update = sql::bind_update(stmt.update, target.schema());
+    plan->target = &target;
+    return plan;
+  }
+  // The join path triggers only when EVERY name in a multi-table FROM list
+  // is a registered table. Otherwise the seed semantics hold: SSB texts
+  // naming logical source tables fall through to the default (pre-joined)
+  // target, so the same query runs normalized or pre-joined depending only
+  // on what the catalog holds.
+  const std::vector<std::string>& from = stmt.select.from;
+  bool join_path = from.size() > 1;
+  for (const std::string& name : from) {
+    if (!db_->has_table(name)) {
+      join_path = false;
+      break;
+    }
+  }
+  if (join_path) {
+    std::vector<sql::JoinTableRef> refs;
+    refs.reserve(from.size());
+    plan->join_tables.reserve(from.size());
+    for (const std::string& name : from) {
+      const rel::Table& t = db_->table(name);
+      refs.push_back({name, &t.schema(), t.row_count()});
+      plan->join_tables.push_back(&t);
+    }
+    plan->join = sql::bind_join(stmt.select, refs);
+    plan->target = plan->join_tables[plan->join.fact];
+    return plan;
+  }
+  const rel::Table& target = db_->resolve_target(stmt.select.from);
+  plan->bound = sql::bind(stmt.select, target.schema());
+  plan->target = &target;
+  return plan;
+}
+
+ResultSet Session::execute_join(const Plan& plan, BackendKind backend,
+                                const engine::ExecOptions& opts) {
+  const sql::BoundJoin& jp = plan.join;
+  const std::vector<std::vector<std::size_t>> attrs =
+      engine::join_scan_attrs(jp);
+
+  // One snapshot-pinned scan per touched table. The scans run sequentially
+  // through this session's executors; each pins exactly one store version,
+  // reported per table in the result's table_versions().
+  std::vector<engine::JoinScanInput> inputs(jp.table_names.size());
+  std::vector<std::pair<std::string, std::uint64_t>> versions;
+  versions.reserve(jp.table_names.size());
+  engine::QueryStats stats;
+  std::uint64_t fact_version = 0;
+  for (std::size_t t = 0; t < jp.table_names.size(); ++t) {
+    Executor& ex = executor_for(backend, *plan.join_tables[t]);
+    engine::ScanOutput scan = ex.execute_scan(jp.filters[t], attrs[t], opts);
+    versions.emplace_back(jp.table_names[t], ex.last_data_version());
+    if (t == jp.fact) {
+      fact_version = ex.last_data_version();
+      stats.selected_records = scan.stats.selected_records;
+      stats.selectivity = scan.stats.selectivity;
+    }
+    // Scans are independent devices running back to back in the model:
+    // latency, energy, and pruning effectiveness all add.
+    stats.total_ns += scan.stats.total_ns;
+    stats.phases.filter += scan.stats.phases.filter;
+    stats.phases.transfer += scan.stats.phases.transfer;
+    stats.phases.host_gb += scan.stats.phases.host_gb;
+    stats.energy_j += scan.stats.energy_j;
+    stats.energy_logic_j += scan.stats.energy_logic_j;
+    stats.energy_read_j += scan.stats.energy_read_j;
+    stats.energy_write_j += scan.stats.energy_write_j;
+    stats.energy_controller_j += scan.stats.energy_controller_j;
+    stats.energy_agg_circuit_j += scan.stats.energy_agg_circuit_j;
+    stats.peak_chip_w = std::max(stats.peak_chip_w, scan.stats.peak_chip_w);
+    stats.host_lines += scan.stats.host_lines;
+    stats.pim_requests += scan.stats.pim_requests;
+    stats.pages_skipped += scan.stats.pages_skipped;
+    stats.pages_synthesized += scan.stats.pages_synthesized;
+    stats.crossbars_skipped += scan.stats.crossbars_skipped;
+    stats.predicates_short_circuited +=
+        scan.stats.predicates_short_circuited;
+    stats.filter_cache_hits += scan.stats.filter_cache_hits;
+    stats.filter_cache_misses += scan.stats.filter_cache_misses;
+    inputs[t].columns = std::move(scan.columns);
+  }
+
+  // Host-side partitioned hash join over the survivors; its build/probe CPU
+  // time lands in the host-gb phase, the merge/sort in finalize.
+  engine::JoinOutput joined = engine::hash_join_execute(jp, inputs, opts_.host);
+  stats.phases.host_gb += joined.stats.build_ns + joined.stats.probe_ns;
+  stats.phases.finalize += joined.stats.finalize_ns;
+  stats.total_ns += joined.stats.build_ns + joined.stats.probe_ns +
+                    joined.stats.finalize_ns;
+
+  engine::QueryOutput out;
+  out.rows = std::move(joined.rows);
+  out.stats = stats;
+  ResultSet rs(std::move(out), join_result_columns(jp, plan.join_tables),
+               backend);
+  rs.set_data_version(fact_version);
+  rs.set_table_versions(std::move(versions));
+  return rs;
 }
 
 ResultSet Session::execute(std::string_view sql_text,
@@ -491,6 +675,17 @@ std::string Session::explain(std::string_view sql_text, BackendKind backend) {
   if (st.is_update()) {
     throw std::invalid_argument(
         "explain: UPDATE statements have no physical plan rendering");
+  }
+  if (st.is_join()) {
+    const Plan& plan = *st.plan_;
+    std::ostringstream ss;
+    engine::explain_join_tree(plan.join, plan.join_tables, ss);
+    for (std::size_t t = 0; t < plan.join.table_names.size(); ++t) {
+      ss << "-- scan " << plan.join.table_names[t] << " --\n"
+         << executor_for(backend, *plan.join_tables[t])
+                .explain_scan(plan.join.filters[t]);
+    }
+    return ss.str();
   }
   return executor_for(backend, st.target()).explain(st.bound());
 }

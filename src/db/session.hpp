@@ -166,6 +166,16 @@ class Executor {
   /// Physical-plan rendering; throws std::invalid_argument for backends
   /// without one (the host baselines).
   virtual std::string explain(const sql::BoundQuery& q);
+  /// Filter-only scan feeding the host hash join: survivor row ids plus the
+  /// requested attribute columns, snapshot-pinned exactly like execute().
+  /// Throws std::invalid_argument for backends without a scan path (the
+  /// columnar baseline models pre-joined plans only).
+  virtual engine::ScanOutput execute_scan(
+      const std::vector<sql::BoundPredicate>& filters,
+      const std::vector<std::size_t>& attrs, const engine::ExecOptions& opts);
+  /// Per-table scan half of a join EXPLAIN; throws like explain().
+  virtual std::string explain_scan(
+      const std::vector<sql::BoundPredicate>& filters);
 };
 
 /// Threading model: a session's plan cache, executor registry, and model
@@ -187,10 +197,14 @@ class Session {
 
   // --- statements ---------------------------------------------------------
   /// Parses, resolves the target against the catalog, binds, and caches
-  /// the plan by SQL text. Accepts SELECT and UPDATE statements (an UPDATE
-  /// resolves its table name like a one-element FROM list). Throws
-  /// std::invalid_argument on syntax errors, unknown columns, type
-  /// mismatches, multiple aggregates, or unencodable SET values.
+  /// the plan by SQL text — first in this session, then in the Database's
+  /// shared plan cache, so N workers preparing the same statement bind it
+  /// once. Accepts SELECT and UPDATE statements (an UPDATE resolves its
+  /// table name like a one-element FROM list); a SELECT whose FROM list
+  /// names two or more registered tables binds through the star-join
+  /// planner (sql::bind_join). Throws std::invalid_argument on syntax
+  /// errors, unknown/ambiguous columns, type mismatches, multiple
+  /// aggregates, non-star join graphs, or unencodable SET values.
   PreparedStatement prepare(std::string_view sql_text);
   ResultSet execute(std::string_view sql_text,
                     const engine::ExecOptions& opts = {});
@@ -226,6 +240,17 @@ class Session {
   const SessionOptions& options() const { return opts_; }
 
  private:
+  friend class PreparedStatement;
+
+  /// Parses and binds `sql_text` against the current catalog: UPDATE, the
+  /// multi-table join path (every FROM name registered), or the seed's
+  /// single-table resolution. Front-end only — no executors touched.
+  std::shared_ptr<const Plan> build_plan(std::string_view sql_text);
+  /// Runs a bound join plan: one snapshot-pinned scan per touched table,
+  /// then the host hash join (engine/hash_join) over the survivors.
+  ResultSet execute_join(const Plan& plan, BackendKind backend,
+                         const engine::ExecOptions& opts);
+
   Database* db_;
   SessionOptions opts_;
   std::shared_ptr<ModelCache> model_cache_;

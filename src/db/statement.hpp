@@ -23,14 +23,23 @@ namespace bbpim::db {
 
 class Session;
 
-/// A parsed and bound statement pinned to its target relation. Immutable
-/// and shared between the session's plan cache and every statement handle.
+/// A parsed and bound statement pinned to its target relation(s). Immutable
+/// and shared between the Database-scope plan cache, every session's local
+/// cache, and every statement handle.
 struct Plan {
   std::string sql;
   sql::Statement::Kind kind = sql::Statement::Kind::kSelect;
-  sql::BoundQuery bound;        ///< kSelect only
+  sql::BoundQuery bound;        ///< single-table kSelect only
   sql::BoundUpdate update;      ///< kUpdate only
-  const rel::Table* target = nullptr;
+  const rel::Table* target = nullptr;  ///< single-table target / join fact
+
+  /// Multi-table SELECT over registered tables: the star join plan and the
+  /// catalog tables it touches, aligned with join.table_names. Empty for
+  /// single-table plans.
+  sql::BoundJoin join;
+  std::vector<const rel::Table*> join_tables;
+
+  bool is_join() const { return !join_tables.empty(); }
 };
 
 class PreparedStatement {
@@ -49,12 +58,26 @@ class PreparedStatement {
   bool is_update() const {
     return plan().kind == sql::Statement::Kind::kUpdate;
   }
-  /// Bound SELECT; throws std::logic_error for UPDATE statements.
+  /// Multi-table SELECT bound through the join planner?
+  bool is_join() const { return plan().is_join(); }
+  /// Bound single-table SELECT; throws std::logic_error for UPDATE and
+  /// multi-table statements.
   const sql::BoundQuery& bound() const {
     if (is_update()) {
       throw std::logic_error("PreparedStatement::bound: UPDATE statement");
     }
+    if (is_join()) {
+      throw std::logic_error(
+          "PreparedStatement::bound: multi-table statement (use join())");
+    }
     return plan().bound;
+  }
+  /// Bound join plan; throws std::logic_error for single-table statements.
+  const sql::BoundJoin& join() const {
+    if (!is_join()) {
+      throw std::logic_error("PreparedStatement::join: single-table statement");
+    }
+    return plan().join;
   }
   /// Bound UPDATE; throws std::logic_error for SELECT statements.
   const sql::BoundUpdate& bound_update() const {

@@ -47,6 +47,49 @@ std::string pred_text(const sql::BoundPredicate& p, const rel::Schema& schema) {
   return ss.str();
 }
 
+/// FILTER + ZONE MAP sections shared by explain_query and explain_scan.
+void filter_section(const std::vector<sql::BoundPredicate>& filters,
+                    const PimStore& store, std::ostream& os) {
+  const rel::Schema& schema = store.table().schema();
+  const pim::PimConfig& cfg = store.module_config();
+
+  // Predicates in actual execution order (selectivity-ordered: the engine
+  // compiles most-selective-first) with their sketch-estimated
+  // selectivities.
+  std::vector<double> estimates;
+  const std::vector<sql::BoundPredicate> ordered =
+      order_by_selectivity(filters, store, &estimates);
+  for (int part = 0; part < store.parts(); ++part) {
+    pim::ColumnAlloc alloc = store.layout(part).make_alloc();
+    const CompiledFilter f = compile_filter(ordered, store.layout(part), alloc);
+    os << "FILTER part " << part << ": " << f.predicate_count
+       << " predicate(s), " << f.program.size() << " cycles ("
+       << f.program.size() * cfg.logic_cycle_ns / 1000.0 << " us/page)\n";
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      const sql::BoundPredicate& p = ordered[i];
+      if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
+      if (p.kind != sql::BoundPredicate::Kind::kNever &&
+          !store.layout(part).has(p.attr)) {
+        continue;
+      }
+      os << "    " << pred_text(p, schema) << "  [est sel "
+         << std::setprecision(3) << estimates[i] << std::setprecision(6)
+         << "]\n";
+    }
+  }
+
+  // Zone-map classification: what pruning (ExecOptions::prune) would skip.
+  const FilterPruneAnalysis zones = analyze_filters(ordered, store);
+  os << "ZONE MAP: " << zones.pages_skipped << "/" << store.pages_per_part()
+     << " pages skipped (" << zones.crossbars_skipped << " crossbars), "
+     << zones.pages_synthesized << " always-true part-page program(s) "
+     << "synthesized, " << zones.predicates_short_circuited
+     << " predicate evaluation(s) short-circuited"
+     << (zones.pages_skipped + zones.pages_synthesized > 0 ? " [with prune on]"
+                                                           : "")
+     << "\n";
+}
+
 }  // namespace
 
 void disassemble(const pim::MicroProgram& prog, std::ostream& os) {
@@ -80,44 +123,8 @@ void explain_query(const sql::BoundQuery& q, const PimStore& store,
      << ", M=" << store.pages_per_part() << " pages/part, "
      << store.record_count() << " records) ==\n";
 
-  // Phase 1: filter programs per part, predicates in actual execution order
-  // (selectivity-ordered: the engine compiles most-selective-first) with
-  // their sketch-estimated selectivities.
-  std::vector<double> estimates;
-  const std::vector<sql::BoundPredicate> ordered =
-      order_by_selectivity(q.filters, store, &estimates);
-  for (int part = 0; part < store.parts(); ++part) {
-    pim::ColumnAlloc alloc = store.layout(part).make_alloc();
-    const CompiledFilter f = compile_filter(ordered, store.layout(part), alloc);
-    os << "FILTER part " << part << ": " << f.predicate_count
-       << " predicate(s), " << f.program.size() << " cycles ("
-       << f.program.size() * cfg.logic_cycle_ns / 1000.0 << " us/page)\n";
-    for (std::size_t i = 0; i < ordered.size(); ++i) {
-      const sql::BoundPredicate& p = ordered[i];
-      if (p.kind == sql::BoundPredicate::Kind::kAlways) continue;
-      if (p.kind != sql::BoundPredicate::Kind::kNever &&
-          !store.layout(part).has(p.attr)) {
-        continue;
-      }
-      os << "    " << pred_text(p, schema) << "  [est sel "
-         << std::setprecision(3) << estimates[i] << std::setprecision(6)
-         << "]\n";
-    }
-  }
-
-  // Zone-map classification: what pruning (ExecOptions::prune) would skip.
-  {
-    const FilterPruneAnalysis zones = analyze_filters(ordered, store);
-    os << "ZONE MAP: " << zones.pages_skipped << "/" << store.pages_per_part()
-       << " pages skipped (" << zones.crossbars_skipped << " crossbars), "
-       << zones.pages_synthesized << " always-true part-page program(s) "
-       << "synthesized, " << zones.predicates_short_circuited
-       << " predicate evaluation(s) short-circuited"
-       << (zones.pages_skipped + zones.pages_synthesized > 0
-               ? " [with prune on]"
-               : "")
-       << "\n";
-  }
+  // Phase 1: filter programs per part + zone-map classification.
+  filter_section(q.filters, store, os);
   if (store.parts() == 2) {
     os << "TRANSFER: part-1 result column -> host -> part-0 ("
        << cfg.crossbar_rows << " lines/page each way), AND on part 0\n";
@@ -173,6 +180,77 @@ std::string explain_query(const sql::BoundQuery& q, const PimStore& store) {
   std::ostringstream ss;
   explain_query(q, store, ss);
   return ss.str();
+}
+
+void explain_scan(const std::vector<sql::BoundPredicate>& filters,
+                  const PimStore& store, std::ostream& os) {
+  os << "== scan (" << (store.parts() == 2 ? "two-xb" : "one-xb")
+     << ", M=" << store.pages_per_part() << " pages/part, "
+     << store.record_count() << " records) ==\n";
+  filter_section(filters, store, os);
+  os << "READBACK: residual bit-vector + survivor record lines "
+     << "(unique-line accounting)\n";
+}
+
+std::string explain_scan(const std::vector<sql::BoundPredicate>& filters,
+                         const PimStore& store) {
+  std::ostringstream ss;
+  explain_scan(filters, store, ss);
+  return ss.str();
+}
+
+void explain_join_tree(const sql::BoundJoin& plan,
+                       const std::vector<const rel::Table*>& tables,
+                       std::ostream& os) {
+  const auto attr_name = [&](std::size_t table, std::size_t attr) {
+    return plan.table_names[table] + "." +
+           tables[table]->schema().attribute(attr).name;
+  };
+  os << "== join plan: star over fact '" << plan.table_names[plan.fact]
+     << "' (" << plan.table_names.size() << " tables) ==\n";
+  for (const sql::BoundBuildSide& b : plan.builds) {
+    os << "BUILD " << plan.table_names[b.table] << " (partitioned hash, "
+       << tables[b.table]->row_count() << " rows, "
+       << plan.filters[b.table].size() << " filter(s)):";
+    for (std::size_t i = 0; i < b.dim_attrs.size(); ++i) {
+      os << (i ? " AND " : " ") << attr_name(plan.fact, b.fact_attrs[i])
+         << " = " << attr_name(b.table, b.dim_attrs[i]);
+    }
+    os << "\n";
+  }
+  os << "PROBE " << plan.table_names[plan.fact] << " ("
+     << tables[plan.fact]->row_count() << " rows, "
+     << plan.filters[plan.fact].size() << " filter(s)): survivors cascade "
+     << "through " << plan.builds.size() << " build side(s)\n";
+  os << "AGGREGATE ";
+  switch (plan.agg_func) {
+    case sql::AggFunc::kSum: os << "SUM"; break;
+    case sql::AggFunc::kMin: os << "MIN"; break;
+    case sql::AggFunc::kMax: os << "MAX"; break;
+    default: os << "COUNT"; break;
+  }
+  os << "(";
+  if (plan.agg_func == sql::AggFunc::kCount) {
+    os << "*";
+  } else {
+    os << attr_name(plan.agg_a.table, plan.agg_a.attr);
+    if (plan.agg_kind == sql::Expr::Kind::kMul) os << " * ";
+    if (plan.agg_kind == sql::Expr::Kind::kSub) os << " - ";
+    if (plan.agg_kind == sql::Expr::Kind::kAdd) os << " + ";
+    if (plan.agg_kind != sql::Expr::Kind::kColumn) {
+      os << attr_name(plan.agg_b.table, plan.agg_b.attr);
+    }
+  }
+  os << ") over joined rows";
+  if (!plan.agg_alias.empty()) os << " AS " << plan.agg_alias;
+  os << "\n";
+  if (plan.has_group_by()) {
+    os << "GROUP BY:";
+    for (const sql::BoundColumnRef& g : plan.group_by) {
+      os << " " << attr_name(g.table, g.attr);
+    }
+    os << "\n";
+  }
 }
 
 }  // namespace bbpim::engine

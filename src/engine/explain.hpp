@@ -28,4 +28,20 @@ void explain_query(const sql::BoundQuery& q, const PimStore& store,
 /// Convenience: explain to a string.
 std::string explain_query(const sql::BoundQuery& q, const PimStore& store);
 
+/// Renders a filter-only scan (the per-table half of a join plan): compiled
+/// predicate order with estimated selectivities plus the zone-map summary,
+/// exactly as explain_query prints them.
+void explain_scan(const std::vector<sql::BoundPredicate>& filters,
+                  const PimStore& store, std::ostream& os);
+std::string explain_scan(const std::vector<sql::BoundPredicate>& filters,
+                         const PimStore& store);
+
+/// Renders the logical join tree of a bound multi-table query: build sides
+/// in probe order with their keys, the probe (fact) side, and the
+/// grouping/aggregation over joined rows. `tables` is the catalog tables
+/// aligned with plan.table_names (attribute names come from their schemas).
+void explain_join_tree(const sql::BoundJoin& plan,
+                       const std::vector<const rel::Table*>& tables,
+                       std::ostream& os);
+
 }  // namespace bbpim::engine

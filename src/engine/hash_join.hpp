@@ -1,0 +1,65 @@
+// Host-side partitioned hash join over PIM scan survivors.
+//
+// The PIM store filters each table of a star query independently (bulk-
+// bitwise WHERE, zone-map pruning); the host then joins the survivors:
+// build a partitioned hash table per filtered dimension keyed by its join
+// attributes, probe with the fact survivors in build order (most filtered
+// dimension first, so misses drop rows out of the cascade early), and
+// aggregate/group the joined rows with the exact semantics — and the exact
+// final sort — of the single-table engine, so a normalized-schema query
+// returns row-identical results to the same query on the pre-joined
+// relation. Build and probe cost is modeled with the host CPU parameters
+// (cpu_ns_per_record across `threads` workers), the same knobs the host-gb
+// phase uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "engine/query_exec.hpp"
+#include "host/config.hpp"
+#include "sql/logical_plan.hpp"
+
+namespace bbpim::engine {
+
+/// The attributes each table's scan must read back for `plan`: its join
+/// keys plus the group/aggregate columns living on it. Sorted and deduped,
+/// indexed like plan.table_names — the contract between the per-table
+/// ScanOutput columns and JoinScanInput.
+std::vector<std::vector<std::size_t>> join_scan_attrs(
+    const sql::BoundJoin& plan);
+
+/// One table's filtered survivors: columns[i] holds the codes of
+/// join_scan_attrs(plan)[t][i], aligned across i (one entry per survivor).
+struct JoinScanInput {
+  std::vector<std::vector<std::uint64_t>> columns;
+
+  std::size_t row_count() const {
+    return columns.empty() ? 0 : columns.front().size();
+  }
+};
+
+struct JoinStats {
+  std::vector<std::size_t> build_rows;  ///< per build side, plan.builds order
+  std::size_t probe_rows = 0;           ///< fact survivors entering the probe
+  std::size_t joined_rows = 0;          ///< rows surviving every probe
+  std::size_t partitions = 0;           ///< hash partitions per build side
+  TimeNs build_ns = 0;
+  TimeNs probe_ns = 0;
+  TimeNs finalize_ns = 0;
+};
+
+struct JoinOutput {
+  std::vector<ResultRow> rows;
+  JoinStats stats;
+};
+
+/// Executes the join tree over per-table scan survivors (`scans` aligned
+/// with plan.table_names). Duplicate build keys produce the full cross
+/// product, matching SQL join semantics.
+JoinOutput hash_join_execute(const sql::BoundJoin& plan,
+                             const std::vector<JoinScanInput>& scans,
+                             const host::HostConfig& hcfg);
+
+}  // namespace bbpim::engine

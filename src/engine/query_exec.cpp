@@ -94,6 +94,10 @@ class Execution {
 
   QueryOutput run();
 
+  /// Filter-only scan: filter phase, residual bit-vector read, survivor
+  /// walk reading back `attrs` (see PimQueryEngine::execute_scan).
+  ScanOutput run_scan(const std::vector<std::size_t>& attrs);
+
  private:
   // --- small helpers --------------------------------------------------------
   std::size_t pages() const { return store_.pages_per_part(); }
@@ -279,6 +283,9 @@ class Execution {
   void pim_gb_phase();
   void host_gb_phase();
   void finalize_phase();
+  /// Stats epilogue shared by run() and run_scan(): modeled total, energy
+  /// breakdown, peak chip power, wear.
+  void finish_stats();
 
   /// Aggregates one pass over `select_col` on the listed pages; returns the
   /// combined value across crossbars and pages (SUM adds, MIN/MAX fold);
@@ -1445,6 +1452,15 @@ QueryOutput Execution::run() {
     stats_.candidate_masses.push_back(c.est_mass);
   }
 
+  finish_stats();
+
+  QueryOutput out;
+  out.rows = std::move(rows_);
+  out.stats = stats_;
+  return out;
+}
+
+void Execution::finish_stats() {
   stats_.total_ns = clock_;
   const pim::EnergyBreakdown energy = pim::energy_breakdown(meter_);
   stats_.energy_j = energy.total;
@@ -1455,9 +1471,103 @@ QueryOutput Execution::run() {
   stats_.energy_agg_circuit_j = energy.agg_circuit;
   stats_.peak_chip_w = tracker_.peak_module_w() / cfg_.chips;
   stats_.wear_row_writes = store_.module().max_row_writes();
+}
 
-  QueryOutput out;
-  out.rows = std::move(rows_);
+// ---------------------------------------------------------------------------
+// Filter-only scan (join feeder)
+// ---------------------------------------------------------------------------
+
+ScanOutput Execution::run_scan(const std::vector<std::size_t>& attrs) {
+  store_.module().reset_wear();
+  filter_phase();
+
+  ScanOutput out;
+  out.columns.resize(attrs.size());
+
+  // Statically empty: every page refuted by the zone maps — the host knows
+  // there are no survivors without a single readback.
+  if (!(prune_ && active_pages_.empty())) {
+    TimeNs* slot = &stats_.phases.host_gb;
+    const std::vector<BitVec> bits =
+        read_column_phase(0, r_col_, slot, &active_pages_);
+
+    // Page-parallel survivor walk: each page collects its row ids and
+    // attribute codes privately (hoisted field access, dense per-page
+    // line accounting — the host-gb idiom), concatenated in page order.
+    const auto chunks = chunk_set(attrs);
+    struct PageOut {
+      std::vector<std::uint64_t> ids;
+      std::vector<std::vector<std::uint64_t>> cols;
+      std::size_t processed = 0;
+      std::uint32_t lines = 0;
+    };
+    std::vector<PageOut> partials(pages());
+    struct WalkAttr {
+      int part;
+      pim::Field f;
+    };
+    std::vector<WalkAttr> walk;
+    walk.reserve(attrs.size());
+    for (const std::size_t a : attrs) {
+      walk.push_back({store_.part_of_attr(a), store_.field(a)});
+    }
+    run_jobs(active_pages_.size(), [&](std::size_t job, pim::EnergyMeter&) {
+      const std::size_t p = active_pages_[job];
+      PageOut& po = partials[p];
+      po.cols.resize(walk.size());
+      const std::uint32_t valid = store_.page_records(p);
+      host::ReadSet page_rs(1, rows(),
+                            static_cast<std::uint32_t>(store_.parts()) *
+                                cfg_.chunks_per_row());
+      pim::Page* part_pages[2] = {&store_.page(0, p), nullptr};
+      if (store_.parts() == 2) part_pages[1] = &store_.page(1, p);
+      for (std::size_t i = bits[p].find_next(0); i < bits[p].size();
+           i = bits[p].find_next(i + 1)) {
+        if (i >= valid) break;
+        ++po.processed;
+        const pim::Page::RecordCoord c =
+            part_pages[0]->locate(static_cast<std::uint32_t>(i));
+        for (const auto& [cpart, chunk] : chunks) {
+          page_rs.touch(0, c.row,
+                        static_cast<std::uint32_t>(cpart) *
+                                cfg_.chunks_per_row() +
+                            chunk);
+        }
+        po.ids.push_back(p * store_.records_per_page() + i);
+        for (std::size_t a = 0; a < walk.size(); ++a) {
+          po.cols[a].push_back(
+              part_pages[walk[a].part]->crossbar(c.crossbar).read_row_bits(
+                  c.row, walk[a].f.offset, walk[a].f.width));
+        }
+      }
+      po.lines = static_cast<std::uint32_t>(page_rs.unique_lines());
+    });
+
+    std::size_t processed = 0;
+    std::size_t unique_lines = 0;
+    std::vector<std::uint32_t> page_lines(pages(), 0);
+    for (std::size_t p = 0; p < pages(); ++p) {
+      PageOut& po = partials[p];
+      processed += po.processed;
+      page_lines[p] = po.lines;
+      unique_lines += po.lines;
+      out.row_ids.insert(out.row_ids.end(), po.ids.begin(), po.ids.end());
+      for (std::size_t a = 0; a < po.cols.size(); ++a) {
+        out.columns[a].insert(out.columns[a].end(), po.cols[a].begin(),
+                              po.cols[a].end());
+      }
+    }
+    stats_.host_lines = unique_lines;
+    meter_.add(pim::EnergyCat::kRead,
+               static_cast<double>(unique_lines) * cfg_.line_bytes() * 8 *
+                   cfg_.read_energy_pj_per_bit * units::kJoulePerPj);
+    const TimeNs cpu = static_cast<double>(processed) *
+                       hcfg_.cpu_ns_per_record / hcfg_.threads;
+    advance_clock(clock_ + host::lines_phase_time_ns(page_lines, hcfg_) + cpu,
+                  slot);
+  }
+
+  finish_stats();
   out.stats = stats_;
   return out;
 }
@@ -1483,6 +1593,18 @@ QueryOutput PimQueryEngine::execute(const sql::BoundQuery& q,
                                     const ExecOptions& opts) {
   Execution exec(kind_, *store_, hcfg_, models_, q, opts);
   return exec.run();
+}
+
+ScanOutput PimQueryEngine::execute_scan(
+    const std::vector<sql::BoundPredicate>& filters,
+    const std::vector<std::size_t>& attrs, const ExecOptions& opts) {
+  // A filters-only query shell: the Execution ctor orders and analyzes the
+  // predicates; no aggregation plan is ever built for a scan.
+  sql::BoundQuery q;
+  q.filters = filters;
+  q.agg_func = sql::AggFunc::kCount;
+  Execution exec(kind_, *store_, hcfg_, models_, q, opts);
+  return exec.run_scan(attrs);
 }
 
 }  // namespace bbpim::engine

@@ -113,6 +113,16 @@ struct QueryOutput {
   QueryStats stats;
 };
 
+/// Survivors of a filter-only scan (the feeder of the host hash join):
+/// global record ids plus the requested attribute codes, aligned so that
+/// columns[i][k] is attribute attrs[i] of record row_ids[k]. Rows appear in
+/// page order — deterministic at any sim thread count.
+struct ScanOutput {
+  std::vector<std::uint64_t> row_ids;
+  std::vector<std::vector<std::uint64_t>> columns;
+  QueryStats stats;
+};
+
 struct ExecOptions {
   /// Bypass the planner and aggregate exactly this many subgroups with PIM
   /// (clamped to the candidate count). Used by the model fitter and the
@@ -147,6 +157,16 @@ class PimQueryEngine {
                  LatencyModels models = {});
 
   QueryOutput execute(const sql::BoundQuery& q, const ExecOptions& opts = {});
+
+  /// Filter-only scan: runs the WHERE conjunction as the usual bulk-bitwise
+  /// filter phase (zone-map pruning and selectivity ordering included), then
+  /// reads back the `attrs` columns of the survivors with the host-gb
+  /// walk's unique-line accounting. Modeled cost = filter phase + residual
+  /// bit-vector read + record-line streaming + per-record CPU time. This is
+  /// the per-table operator a multi-table join plan composes on the host.
+  ScanOutput execute_scan(const std::vector<sql::BoundPredicate>& filters,
+                          const std::vector<std::size_t>& attrs,
+                          const ExecOptions& opts = {});
 
   EngineKind kind() const { return kind_; }
   const LatencyModels& models() const { return models_; }

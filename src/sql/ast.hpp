@@ -5,7 +5,9 @@
 // needs: SELECT items (group columns and SUM/MIN/MAX/COUNT over a column,
 // product, sum, or difference), FROM lists, WHERE conjunctions of
 // column-vs-literal comparisons, BETWEEN, IN, and column-equality join
-// predicates, GROUP BY and ORDER BY.
+// predicates, GROUP BY and ORDER BY. Column references may be qualified
+// (`lineorder.lo_orderdate`); they are carried as one dotted string and
+// split by the binders, so the AST shape is the same either way.
 #pragma once
 
 #include <cstdint>

@@ -82,6 +82,7 @@ std::vector<Token> lex(std::string_view sql) {
       case '(': single(TokKind::kLParen); break;
       case ')': single(TokKind::kRParen); break;
       case '*': single(TokKind::kStar); break;
+      case '.': single(TokKind::kDot); break;
       case '+': single(TokKind::kPlus); break;
       case '-': single(TokKind::kMinus); break;
       case ';': single(TokKind::kSemi); break;

@@ -19,6 +19,7 @@ enum class TokKind : std::uint8_t {
   kStar,
   kPlus,
   kMinus,
+  kDot,      // qualified column names: table.column
   kEq,
   kLt,
   kLe,

@@ -40,8 +40,15 @@ namespace {
 
 std::size_t resolve(const rel::Schema& schema, const std::string& name) {
   const auto idx = schema.index_of(name);
-  if (!idx) fail("unknown column '" + name + "'");
-  return *idx;
+  if (idx) return *idx;
+  // Qualified name against a single-table schema: the pre-joined relation
+  // subsumes the logical source tables, so any qualifier resolves by its
+  // column part.
+  if (const auto dot = name.find('.'); dot != std::string::npos) {
+    const auto suffix = schema.index_of(name.substr(dot + 1));
+    if (suffix) return *suffix;
+  }
+  fail("unknown column '" + name + "'");
 }
 
 std::uint64_t domain_max(const rel::Attribute& a) {
@@ -223,6 +230,57 @@ BoundPredicate bind_in(const rel::Schema& schema, const Predicate& p) {
   return b;
 }
 
+// ---- multi-table resolution ------------------------------------------------
+
+/// Resolves an (optionally qualified) column against the FROM list.
+BoundColumnRef resolve_multi(const std::vector<JoinTableRef>& tables,
+                             const std::string& name) {
+  if (const auto dot = name.find('.'); dot != std::string::npos) {
+    const std::string tbl = name.substr(0, dot);
+    const std::string col = name.substr(dot + 1);
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      if (tables[t].name != tbl) continue;
+      const auto idx = tables[t].schema->index_of(col);
+      if (!idx) fail("unknown column '" + col + "' in table '" + tbl + "'");
+      return {t, *idx};
+    }
+    fail("unknown table '" + tbl + "' in column reference '" + name + "'");
+  }
+  std::optional<BoundColumnRef> found;
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const auto idx = tables[t].schema->index_of(name);
+    if (!idx) continue;
+    if (found) {
+      fail("ambiguous column '" + name + "': present in tables '" +
+           tables[found->table].name + "' and '" + tables[t].name +
+           "' — qualify it as <table>." + name);
+    }
+    found = BoundColumnRef{t, *idx};
+  }
+  if (!found) fail("unknown column '" + name + "' in any FROM table");
+  return *found;
+}
+
+/// Binds one non-join WHERE predicate against the table its column lives
+/// in; reports that table via `table_out`. Reuses the single-table literal
+/// folding by rewriting the (possibly qualified) name to the plain
+/// attribute name, which is unique within one schema.
+BoundPredicate bind_filter(const std::vector<JoinTableRef>& tables,
+                           const Predicate& p, std::size_t* table_out) {
+  const BoundColumnRef ref = resolve_multi(tables, p.column);
+  const rel::Schema& schema = *tables[ref.table].schema;
+  Predicate local = p;
+  local.column = schema.attribute(ref.attr).name;
+  *table_out = ref.table;
+  switch (p.kind) {
+    case Predicate::Kind::kCmp: return bind_cmp(schema, local);
+    case Predicate::Kind::kBetween: return bind_between(schema, local);
+    case Predicate::Kind::kIn: return bind_in(schema, local);
+    case Predicate::Kind::kJoinEq: break;
+  }
+  fail("unreachable filter kind");
+}
+
 }  // namespace
 
 BoundQuery bind(const SelectStmt& stmt, const rel::Schema& schema) {
@@ -342,6 +400,165 @@ BoundUpdate bind_update(const UpdateStmt& stmt, const rel::Schema& schema) {
     }
   }
   return u;
+}
+
+BoundJoin bind_join(const SelectStmt& stmt,
+                    const std::vector<JoinTableRef>& tables) {
+  if (tables.size() < 2) fail("join binding needs at least two tables");
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    for (std::size_t j = i + 1; j < tables.size(); ++j) {
+      if (tables[i].name == tables[j].name) {
+        fail("duplicate table '" + tables[i].name +
+             "' in FROM: self-joins are not supported");
+      }
+    }
+  }
+
+  BoundJoin q;
+  q.filters.resize(tables.size());
+  for (const JoinTableRef& t : tables) q.table_names.push_back(t.name);
+
+  // Split the WHERE conjunction into per-table filters and join key pairs.
+  struct KeyPair {
+    BoundColumnRef left, right;
+  };
+  std::vector<KeyPair> keys;
+  for (const Predicate& p : stmt.where) {
+    if (p.kind != Predicate::Kind::kJoinEq) {
+      std::size_t t = 0;
+      BoundPredicate b = bind_filter(tables, p, &t);
+      q.filters[t].push_back(b);
+      continue;
+    }
+    const BoundColumnRef l = resolve_multi(tables, p.column);
+    const BoundColumnRef r = resolve_multi(tables, p.join_right);
+    if (l.table == r.table) {
+      fail("join predicate '" + p.column + " = " + p.join_right +
+           "' relates two columns of table '" + tables[l.table].name + "'");
+    }
+    const rel::Attribute& la = tables[l.table].schema->attribute(l.attr);
+    const rel::Attribute& ra = tables[r.table].schema->attribute(r.attr);
+    // Codes only compare as values when the encodings agree: integers
+    // directly, strings through one shared dictionary.
+    if (la.type != ra.type ||
+        (la.type == rel::DataType::kString && la.dict != ra.dict)) {
+      fail("join keys '" + p.column + "' and '" + p.join_right +
+           "' have incomparable encodings");
+    }
+    keys.push_back({l, r});
+  }
+  if (keys.empty()) {
+    fail("multi-table query has no join predicate: cross joins are not "
+         "supported");
+  }
+
+  // Fact = the table every join predicate touches (star shape); on a tie
+  // (two tables, one join pair) the larger relation probes.
+  std::vector<std::size_t> touched(tables.size(), 0);
+  for (const KeyPair& k : keys) {
+    ++touched[k.left.table];
+    ++touched[k.right.table];
+  }
+  std::size_t fact = tables.size();
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (touched[t] != keys.size()) continue;
+    if (fact == tables.size() ||
+        tables[t].row_count > tables[fact].row_count) {
+      fact = t;
+    }
+  }
+  if (fact == tables.size()) {
+    fail("only star-shaped join graphs are supported (one fact table "
+         "equi-joined to every dimension)");
+  }
+  q.fact = fact;
+
+  // Group key pairs per dimension (composite keys), first-appearance order.
+  for (const KeyPair& k : keys) {
+    const BoundColumnRef fact_side = k.left.table == fact ? k.left : k.right;
+    const BoundColumnRef dim_side = k.left.table == fact ? k.right : k.left;
+    BoundBuildSide* build = nullptr;
+    for (BoundBuildSide& b : q.builds) {
+      if (b.table == dim_side.table) build = &b;
+    }
+    if (build == nullptr) {
+      q.builds.push_back({dim_side.table, {}, {}});
+      build = &q.builds.back();
+    }
+    build->fact_attrs.push_back(fact_side.attr);
+    build->dim_attrs.push_back(dim_side.attr);
+  }
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (t == fact) continue;
+    const bool joined =
+        std::any_of(q.builds.begin(), q.builds.end(),
+                    [&](const BoundBuildSide& b) { return b.table == t; });
+    if (!joined) {
+      fail("table '" + tables[t].name + "' has no join predicate connecting "
+           "it to fact '" + tables[fact].name +
+           "': cross joins are not supported");
+    }
+  }
+  // Probe order: most-filtered dimensions first so fact survivors fall out
+  // of the probe cascade early; ties go to the smaller build side.
+  std::stable_sort(q.builds.begin(), q.builds.end(),
+                   [&](const BoundBuildSide& a, const BoundBuildSide& b) {
+                     const std::size_t fa = q.filters[a.table].size();
+                     const std::size_t fb = q.filters[b.table].size();
+                     if (fa != fb) return fa > fb;
+                     return tables[a.table].row_count <
+                            tables[b.table].row_count;
+                   });
+
+  // GROUP BY columns.
+  for (const std::string& col : stmt.group_by) {
+    q.group_by.push_back(resolve_multi(tables, col));
+  }
+
+  // SELECT items: exactly one aggregate; plain columns must be grouped.
+  bool have_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    if (item.func == AggFunc::kNone) {
+      const BoundColumnRef ref = resolve_multi(tables, item.expr.col_a);
+      if (std::find(q.group_by.begin(), q.group_by.end(), ref) ==
+          q.group_by.end()) {
+        fail("column '" + item.expr.col_a + "' is not in GROUP BY");
+      }
+      continue;
+    }
+    if (have_agg) fail("only one aggregate per query is supported");
+    have_agg = true;
+    q.agg_func = item.func;
+    q.agg_alias = item.alias;
+    if (item.func == AggFunc::kCount && item.expr.col_a.empty()) {
+      q.agg_kind = Expr::Kind::kColumn;  // COUNT(*): operands unused
+    } else {
+      q.agg_kind = item.expr.kind;
+      q.agg_a = resolve_multi(tables, item.expr.col_a);
+      if (item.expr.kind != Expr::Kind::kColumn) {
+        q.agg_b = resolve_multi(tables, item.expr.col_b);
+      }
+    }
+  }
+  if (!have_agg) fail("query must contain an aggregate");
+
+  // ORDER BY: the aggregate's alias or a GROUP BY column.
+  for (const OrderItem& item : stmt.order_by) {
+    BoundOrderItem bo;
+    bo.desc = item.desc;
+    if (!q.agg_alias.empty() && item.column == q.agg_alias) {
+      bo.is_agg = true;
+    } else {
+      const BoundColumnRef ref = resolve_multi(tables, item.column);
+      const auto it = std::find(q.group_by.begin(), q.group_by.end(), ref);
+      if (it == q.group_by.end()) {
+        fail("ORDER BY column '" + item.column + "' is not in GROUP BY");
+      }
+      bo.group_pos = static_cast<std::size_t>(it - q.group_by.begin());
+    }
+    q.order_by.push_back(bo);
+  }
+  return q;
 }
 
 }  // namespace bbpim::sql

@@ -7,6 +7,13 @@
 // share one representation. Join-equality predicates are carried separately:
 // the pre-joined engines drop them (the join is materialized), the star-
 // schema baseline uses them to plan hash joins.
+//
+// `bind_join` is the multi-table binder: it resolves (optionally qualified)
+// columns against a FROM list of registered tables, splits the WHERE
+// conjunction into per-table filter sets plus equi-join key pairs, and emits
+// a star join tree — build hash tables on the filtered dimensions, probe
+// with fact survivors (engine/hash_join executes it on the host over
+// per-table PIM scan results).
 #pragma once
 
 #include <cstdint>
@@ -96,5 +103,57 @@ struct BoundUpdate {
 /// rejected with std::invalid_argument — never silently written as an
 /// undecodable record. Join predicates in the WHERE clause are rejected.
 BoundUpdate bind_update(const UpdateStmt& stmt, const rel::Schema& schema);
+
+/// One table of a multi-table FROM list as the join binder sees it.
+struct JoinTableRef {
+  std::string name;
+  const rel::Schema* schema = nullptr;
+  std::size_t row_count = 0;  ///< fact detection: the larger relation probes
+};
+
+/// A column resolved against the FROM list: (table position, attr index).
+struct BoundColumnRef {
+  std::size_t table = 0;
+  std::size_t attr = 0;
+  bool operator==(const BoundColumnRef&) const = default;
+};
+
+/// One build side of the star join: a dimension with the key attribute
+/// pairs connecting it to the fact (composite keys keep the vectors
+/// aligned: fact_attrs[i] probes dim_attrs[i]).
+struct BoundBuildSide {
+  std::size_t table = 0;  ///< dimension position in the FROM list
+  std::vector<std::size_t> fact_attrs;
+  std::vector<std::size_t> dim_attrs;
+};
+
+/// A bound multi-table star query: per-table filter conjunctions (each in
+/// the same BoundPredicate form the PIM filter compiler consumes), the join
+/// tree, and grouping/aggregation/ordering over joined rows.
+struct BoundJoin {
+  std::vector<std::string> table_names;  ///< FROM order, aligned with filters
+  std::vector<std::vector<BoundPredicate>> filters;
+  std::size_t fact = 0;                ///< probe side
+  std::vector<BoundBuildSide> builds;  ///< probe order: most filtered first
+  std::vector<BoundColumnRef> group_by;
+  AggFunc agg_func = AggFunc::kSum;
+  Expr::Kind agg_kind = Expr::Kind::kColumn;
+  BoundColumnRef agg_a;  ///< unused for COUNT(*)
+  BoundColumnRef agg_b;  ///< kMul/kSub/kAdd only
+  std::string agg_alias;
+  std::vector<BoundOrderItem> order_by;
+
+  bool has_group_by() const { return !group_by.empty(); }
+};
+
+/// Binds a multi-table SELECT against the FROM list. Unqualified columns
+/// resolve by schema search (ambiguity across tables is an error; qualify
+/// as table.column); join predicates must form a star — one fact table
+/// equi-joined to every dimension. Throws std::invalid_argument with a
+/// "SQL bind error:" message otherwise (unknown qualifier, ambiguous or
+/// unknown column, same-table or non-star join, cross join, incomparable
+/// key types, self-join via duplicate FROM entries).
+BoundJoin bind_join(const SelectStmt& stmt,
+                    const std::vector<JoinTableRef>& tables);
 
 }  // namespace bbpim::sql

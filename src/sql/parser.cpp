@@ -27,8 +27,8 @@ class Parser {
     }
     if (accept_keyword("GROUP")) {
       expect_keyword("BY");
-      stmt.group_by.push_back(expect_ident());
-      while (accept(TokKind::kComma)) stmt.group_by.push_back(expect_ident());
+      stmt.group_by.push_back(expect_column());
+      while (accept(TokKind::kComma)) stmt.group_by.push_back(expect_column());
     }
     if (accept_keyword("ORDER")) {
       expect_keyword("BY");
@@ -98,9 +98,20 @@ class Parser {
     return toks_[pos_++].text;
   }
 
+  // Column reference, optionally qualified: `col` or `table.col`, stored as
+  // one dotted name (binders split on the dot).
+  std::string expect_column() {
+    std::string name = expect_ident();
+    if (accept(TokKind::kDot)) {
+      name += '.';
+      name += expect_ident();
+    }
+    return name;
+  }
+
   OrderItem parse_order_col() {
     OrderItem item;
-    item.column = expect_ident();
+    item.column = expect_column();
     if (!accept_keyword("ASC") && accept_keyword("DESC")) item.desc = true;
     return item;
   }
@@ -125,7 +136,7 @@ class Parser {
       expect(TokKind::kRParen, "')'");
     } else {
       item.expr.kind = Expr::Kind::kColumn;
-      item.expr.col_a = expect_ident();
+      item.expr.col_a = expect_column();
     }
     if (accept_keyword("AS")) item.alias = expect_ident();
     return item;
@@ -133,16 +144,16 @@ class Parser {
 
   Expr parse_expr() {
     Expr e;
-    e.col_a = expect_ident();
+    e.col_a = expect_column();
     if (accept(TokKind::kStar)) {
       e.kind = Expr::Kind::kMul;
-      e.col_b = expect_ident();
+      e.col_b = expect_column();
     } else if (accept(TokKind::kMinus)) {
       e.kind = Expr::Kind::kSub;
-      e.col_b = expect_ident();
+      e.col_b = expect_column();
     } else if (accept(TokKind::kPlus)) {
       e.kind = Expr::Kind::kAdd;
-      e.col_b = expect_ident();
+      e.col_b = expect_column();
     } else {
       e.kind = Expr::Kind::kColumn;
     }
@@ -190,13 +201,13 @@ class Parser {
       if (!peek_cmp(&op)) fail("expected comparison operator");
       ++pos_;
       p.kind = Predicate::Kind::kCmp;
-      p.column = expect_ident();
+      p.column = expect_column();
       p.op = flip(op);
       p.v1 = lit;
       return p;
     }
 
-    p.column = expect_ident();
+    p.column = expect_column();
     if (accept_keyword("BETWEEN")) {
       p.kind = Predicate::Kind::kBetween;
       p.v1 = parse_literal();
@@ -219,7 +230,7 @@ class Parser {
       // column = column -> join predicate (SSB only joins with equality)
       if (op != CmpOp::kEq) fail("only equality joins are supported");
       p.kind = Predicate::Kind::kJoinEq;
-      p.join_right = expect_ident();
+      p.join_right = expect_column();
       return p;
     }
     p.kind = Predicate::Kind::kCmp;

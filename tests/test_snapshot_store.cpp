@@ -314,5 +314,128 @@ TEST(SnapshotStore, ConcurrentFinalStoreEqualsCommittedLogFold) {
                 .contents_checksum());
 }
 
+TEST(SnapshotStore, JoinPinsOneConsistentSnapshotPerTable) {
+  // A multi-table join concurrent with UPDATEs on the fact table must see
+  // exactly ONE data version per touched table: every joined result must
+  // equal the serial oracle at its reported fact version, with the
+  // dimension pinned at its own (unmutated) version. A join that read the
+  // fact mid-update, or mixed two fact versions across its scan and the
+  // hash join, produces rows no oracle version can reproduce.
+  db::SessionOptions opts;
+  opts.pim = update_capable_pim();
+
+  const auto make_fact = [] {
+    rel::Schema schema{{{"fk", rel::DataType::kInt, 8, nullptr},
+                        {"v", rel::DataType::kInt, 8, nullptr}}};
+    rel::Table fact(schema, "orders");
+    for (std::size_t r = 0; r < 240; ++r) {
+      fact.append_row(std::vector<std::uint64_t>{r % 10, r % 50});
+    }
+    return fact;
+  };
+  const auto make_dim = [] {
+    rel::Schema schema{{{"dk", rel::DataType::kInt, 8, nullptr},
+                        {"g", rel::DataType::kInt, 8, nullptr}}};
+    rel::Table dim(schema, "cat");
+    for (std::uint64_t k = 0; k < 10; ++k) {
+      dim.append_row(std::vector<std::uint64_t>{k, k % 3});
+    }
+    return dim;
+  };
+
+  db::Database database;
+  database.register_table(make_fact(), db::LoadPolicy{});
+  database.register_table(make_dim(), db::LoadPolicy{});
+
+  const std::string join_sql =
+      "SELECT g, SUM(v) AS s FROM orders, cat WHERE fk = dk "
+      "GROUP BY g ORDER BY g";
+  // Non-commuting value rotation: consecutive versions answer differently.
+  const std::string updates[] = {
+      "UPDATE orders SET v = 50 WHERE v = 3",
+      "UPDATE orders SET v = 51 WHERE v = 50",
+      "UPDATE orders SET v = 3 WHERE v = 51",
+  };
+  constexpr int kUpdates = 9;
+
+  // Readers race the updater; each records (fact version -> joined rows).
+  std::mutex mu;
+  std::map<std::uint64_t, std::vector<engine::ResultRow>> seen;
+  bool version_mix = false;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      db::Session session(database, opts);
+      do {
+        const db::ResultSet rs =
+            session.execute(join_sql, db::BackendKind::kOneXb);
+        std::uint64_t fact_version = 0, dim_version = 0;
+        for (const auto& [name, version] : rs.table_versions()) {
+          (name == "orders" ? fact_version : dim_version) = version;
+        }
+        std::lock_guard lock(mu);
+        if (fact_version != rs.data_version() || dim_version != 0) {
+          version_mix = true;
+        }
+        const auto [it, inserted] =
+            seen.emplace(rs.data_version(), rs.rows());
+        if (!inserted && it->second != rs.rows()) version_mix = true;
+      } while (!stop.load(std::memory_order_acquire));
+    });
+  }
+
+  db::Session updater(database, opts);
+  for (int i = 0; i < kUpdates; ++i) {
+    const db::ResultSet rs = updater.execute(
+        updates[i % std::size(updates)], db::BackendKind::kOneXb);
+    EXPECT_EQ(rs.data_version(), static_cast<std::uint64_t>(i) + 1);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_FALSE(version_mix)
+      << "a join mixed data versions across its per-table scans";
+  EXPECT_FALSE(seen.empty());
+
+  // Serial oracle: rebuild the fact table at each version by folding the
+  // update log on the host, and join it on the reference backend. Every
+  // concurrently observed result must match its version's oracle exactly.
+  rel::Table fact = make_fact();
+  for (int version = 0; version <= kUpdates; ++version) {
+    if (version > 0) {
+      const sql::BoundUpdate u =
+          bound(fact, updates[(version - 1) % std::size(updates)]);
+      rel::Table next(fact.schema(), fact.name());
+      std::vector<std::uint64_t> row(2);
+      for (std::size_t r = 0; r < fact.row_count(); ++r) {
+        for (std::size_t a = 0; a < 2; ++a) row[a] = fact.value(r, a);
+        bool hit = true;
+        for (const sql::BoundPredicate& p : u.filters) {
+          if (!p.matches(fact.value(r, p.attr))) {
+            hit = false;
+            break;
+          }
+        }
+        if (hit) row[u.attr] = u.value;
+        next.append_row(row);
+      }
+      fact = std::move(next);
+    }
+    const auto it = seen.find(static_cast<std::uint64_t>(version));
+    if (it == seen.end()) continue;
+    db::Database oracle_db;
+    oracle_db.register_table(rel::Table(fact), db::LoadPolicy{});
+    oracle_db.register_table(make_dim(), db::LoadPolicy{});
+    db::Session oracle(oracle_db, opts);
+    const db::ResultSet expected =
+        oracle.execute(join_sql, db::BackendKind::kReference);
+    EXPECT_EQ(it->second, expected.rows())
+        << "joined rows at version " << version
+        << " diverged from the serial oracle";
+  }
+}
+
 }  // namespace
 }  // namespace bbpim

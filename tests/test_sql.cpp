@@ -273,5 +273,186 @@ TEST(Binder, UpdateRejectsUnencodableValues) {
                std::invalid_argument);
 }
 
+// --- qualified names and the multi-table join binder -----------------------
+
+TEST(Lexer, DotToken) {
+  const auto toks = lex("lineorder.lo_orderdate");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdent);
+  EXPECT_EQ(toks[1].kind, TokKind::kDot);
+  EXPECT_EQ(toks[2].kind, TokKind::kIdent);
+}
+
+TEST(Parser, QualifiedColumnsEverywhere) {
+  const SelectStmt s = parse(
+      "SELECT d.g, SUM(f.v * f.w) AS rev FROM f, d "
+      "WHERE f.fk = d.dk AND d.g > 2 GROUP BY d.g ORDER BY d.g, rev DESC");
+  EXPECT_EQ(s.items[0].expr.col_a, "d.g");
+  EXPECT_EQ(s.items[1].expr.col_a, "f.v");
+  EXPECT_EQ(s.items[1].expr.col_b, "f.w");
+  EXPECT_EQ(s.where[0].kind, Predicate::Kind::kJoinEq);
+  EXPECT_EQ(s.where[0].column, "f.fk");
+  EXPECT_EQ(s.where[0].join_right, "d.dk");
+  EXPECT_EQ(s.where[1].column, "d.g");
+  EXPECT_EQ(s.group_by[0], "d.g");
+  EXPECT_EQ(s.order_by[0].column, "d.g");
+}
+
+TEST(Parser, NonEqualityJoinPredicateRejected) {
+  // Pinned message: the one the parser has always produced.
+  try {
+    parse("SELECT SUM(v) FROM f, d WHERE fk < dk");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("only equality joins are supported"),
+              std::string::npos);
+  }
+}
+
+TEST(Binder, SingleTableAcceptsQualifiedNames) {
+  const rel::Schema schema = test_schema();
+  const BoundQuery q =
+      bind(parse("SELECT SUM(t.v) FROM t WHERE t.k >= 5"), schema);
+  ASSERT_EQ(q.filters.size(), 1u);
+  EXPECT_EQ(q.filters[0].attr, 0u);
+  EXPECT_EQ(q.agg_expr.a, 1u);
+  // The single-table binder sees only a schema, so the qualifier is
+  // dropped, whatever it names: that is what lets a query written against
+  // the normalized tables bind against the pre-joined relation unchanged.
+  EXPECT_EQ(bind(parse("SELECT SUM(lineorder.v) FROM t"), schema).agg_expr.a,
+            1u);
+  EXPECT_THROW(bind(parse("SELECT SUM(t.nope) FROM t"), schema),
+               std::invalid_argument);
+}
+
+/// Star over fact `f` with dims `d1` (filtered) and `d2`; `dup` is present
+/// in both `f` and `d1` to exercise the ambiguity check.
+struct JoinWorld {
+  rel::Schema fact{{{"fk1", rel::DataType::kInt, 16, nullptr},
+                    {"fk2", rel::DataType::kInt, 16, nullptr},
+                    {"v", rel::DataType::kInt, 20, nullptr},
+                    {"dup", rel::DataType::kInt, 8, nullptr}}};
+  rel::Schema d1{{{"dk", rel::DataType::kInt, 16, nullptr},
+                  {"g", rel::DataType::kInt, 8, nullptr},
+                  {"dup", rel::DataType::kInt, 8, nullptr}}};
+  rel::Schema d2{{{"ek", rel::DataType::kInt, 16, nullptr},
+                  {"h", rel::DataType::kInt, 8, nullptr}}};
+  std::vector<JoinTableRef> tables{{"f", &fact, 1000},
+                                   {"d1", &d1, 10},
+                                   {"d2", &d2, 20}};
+};
+
+TEST(JoinBinder, StarShapeFactDetectionAndBuildOrder) {
+  JoinWorld w;
+  const BoundJoin j = bind_join(
+      parse("SELECT g, SUM(v) FROM f, d1, d2 "
+            "WHERE fk1 = dk AND fk2 = ek AND h > 3 AND g = 1 AND v < 100 "
+            "GROUP BY g ORDER BY g"),
+      w.tables);
+  EXPECT_EQ(j.fact, 0u);  // f is touched by every join pair
+  ASSERT_EQ(j.builds.size(), 2u);
+  // Both dims carry one filter; the smaller one (d1) builds first.
+  EXPECT_EQ(j.builds[0].table, 1u);
+  EXPECT_EQ(j.builds[1].table, 2u);
+  ASSERT_EQ(j.builds[0].fact_attrs.size(), 1u);
+  EXPECT_EQ(j.builds[0].fact_attrs[0], 0u);  // fk1
+  EXPECT_EQ(j.builds[0].dim_attrs[0], 0u);   // dk
+  // WHERE split: v < 100 on the fact, g = 1 on d1, h > 3 on d2.
+  ASSERT_EQ(j.filters.size(), 3u);
+  EXPECT_EQ(j.filters[0].size(), 1u);
+  EXPECT_EQ(j.filters[1].size(), 1u);
+  EXPECT_EQ(j.filters[2].size(), 1u);
+  ASSERT_EQ(j.group_by.size(), 1u);
+  EXPECT_EQ(j.group_by[0].table, 1u);
+  EXPECT_EQ(j.group_by[0].attr, 1u);  // d1.g
+  EXPECT_EQ(j.agg_a.table, 0u);
+  EXPECT_EQ(j.agg_a.attr, 2u);  // f.v
+}
+
+TEST(JoinBinder, AmbiguousUnqualifiedColumn) {
+  JoinWorld w;
+  try {
+    bind_join(parse("SELECT SUM(dup) FROM f, d1, d2 "
+                    "WHERE fk1 = dk AND fk2 = ek"),
+              w.tables);
+    FAIL() << "expected bind error";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("ambiguous column 'dup'"), std::string::npos);
+    EXPECT_NE(what.find("qualify it"), std::string::npos);
+  }
+  // Qualifying resolves it.
+  const BoundJoin j = bind_join(parse("SELECT SUM(f.dup) FROM f, d1, d2 "
+                                      "WHERE fk1 = dk AND fk2 = ek"),
+                                w.tables);
+  EXPECT_EQ(j.agg_a.table, 0u);
+  EXPECT_EQ(j.agg_a.attr, 3u);
+}
+
+TEST(JoinBinder, UnknownTableQualifier) {
+  JoinWorld w;
+  try {
+    bind_join(parse("SELECT SUM(v) FROM f, d1, d2 "
+                    "WHERE fk1 = dk AND fk2 = ek AND nope.g = 1"),
+              w.tables);
+    FAIL() << "expected bind error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown table 'nope'"),
+              std::string::npos);
+  }
+}
+
+TEST(JoinBinder, RejectsNonStarShapes) {
+  JoinWorld w;
+  // No join predicate at all: cross join.
+  EXPECT_THROW(bind_join(parse("SELECT SUM(v) FROM f, d1, d2 "
+                               "WHERE fk1 = dk"),
+                         w.tables),
+               std::invalid_argument);
+  // Triangle (fact-dim edges plus a dim-dim edge): no table joins all.
+  EXPECT_THROW(bind_join(parse("SELECT SUM(v) FROM f, d1, d2 "
+                               "WHERE fk1 = dk AND fk2 = ek AND g = h"),
+                         w.tables),
+               std::invalid_argument);
+  // Same-table "join".
+  EXPECT_THROW(bind_join(parse("SELECT SUM(v) FROM f, d1, d2 "
+                               "WHERE fk1 = fk2 AND fk1 = dk AND fk2 = ek"),
+                         w.tables),
+               std::invalid_argument);
+  // Duplicate FROM name.
+  std::vector<JoinTableRef> dup = {{"f", &w.fact, 1000}, {"f", &w.fact, 1000}};
+  EXPECT_THROW(
+      bind_join(parse("SELECT SUM(v) FROM f, f WHERE fk1 = fk2"), dup),
+      std::invalid_argument);
+}
+
+TEST(JoinBinder, RejectsIncomparableJoinKeyEncodings) {
+  // String keys joined across different dictionaries compare codes from
+  // unrelated code spaces — refuse at bind time.
+  auto dict_a = std::make_shared<const rel::Dictionary>(
+      rel::Dictionary::from_values({"a", "b"}));
+  auto dict_b = std::make_shared<const rel::Dictionary>(
+      rel::Dictionary::from_values({"a", "b"}));
+  rel::Schema fact{{{"fk", rel::DataType::kString, 2, dict_a},
+                    {"v", rel::DataType::kInt, 8, nullptr}}};
+  rel::Schema dim{{{"dk", rel::DataType::kString, 2, dict_b},
+                   {"g", rel::DataType::kInt, 8, nullptr}}};
+  std::vector<JoinTableRef> tables = {{"f", &fact, 10}, {"d", &dim, 5}};
+  try {
+    bind_join(parse("SELECT SUM(v) FROM f, d WHERE fk = dk"), tables);
+    FAIL() << "expected bind error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("incomparable encodings"),
+              std::string::npos);
+  }
+  // Same dictionary object: fine.
+  rel::Schema dim_shared{{{"dk", rel::DataType::kString, 2, dict_a},
+                          {"g", rel::DataType::kInt, 8, nullptr}}};
+  std::vector<JoinTableRef> shared = {{"f", &fact, 10}, {"d", &dim_shared, 5}};
+  EXPECT_EQ(
+      bind_join(parse("SELECT SUM(v) FROM f, d WHERE fk = dk"), shared).fact,
+      0u);
+}
+
 }  // namespace
 }  // namespace bbpim::sql
