@@ -66,6 +66,7 @@ Database::Database(Database&& other) noexcept {
   plans_version_ = other.plans_version_;
   plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
                    std::memory_order_relaxed);
+  binding_ = std::move(other.binding_);
 }
 
 Database& Database::operator=(Database&& other) noexcept {
@@ -82,6 +83,7 @@ Database& Database::operator=(Database&& other) noexcept {
     plans_version_ = other.plans_version_;
     plan_hits_.store(other.plan_hits_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    binding_ = std::move(other.binding_);
   }
   return *this;
 }
@@ -238,6 +240,50 @@ void Database::cache_plan(std::shared_ptr<const Plan> plan) {
   // First writer wins: two sessions that raced the same bind publish
   // equivalent plans, and handles to the loser stay valid (shared_ptr).
   plans_.emplace(plan->sql, std::move(plan));
+}
+
+std::shared_ptr<const Plan> Database::find_or_bind(
+    std::string_view sql,
+    const std::function<std::shared_ptr<const Plan>()>& bind) {
+  std::uint64_t claim_version = 0;
+  {
+    std::unique_lock lock(plans_mutex_);
+    for (;;) {
+      claim_version = catalog_version();
+      if (plans_version_ != claim_version) {
+        plans_.clear();
+        plans_version_ = claim_version;
+      }
+      const auto it = plans_.find(sql);
+      if (it != plans_.end()) {
+        plan_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+      if (binding_.insert(std::string(sql)).second) break;  // our claim
+      // Another worker is binding this text; wait for its publish (or
+      // failure) and re-check from the top — the catalog may have moved.
+      plans_cv_.wait(lock);
+    }
+  }
+  std::shared_ptr<const Plan> plan;
+  try {
+    plan = bind();  // unlocked: binding may be expensive
+  } catch (...) {
+    std::lock_guard lock(plans_mutex_);
+    binding_.erase(binding_.find(sql));
+    plans_cv_.notify_all();
+    throw;
+  }
+  std::lock_guard lock(plans_mutex_);
+  binding_.erase(binding_.find(sql));
+  // Publish only if the catalog has not moved since the claim: a plan bound
+  // against a superseded catalog must not outlive it in the cache.
+  if (plan != nullptr && plans_version_ == claim_version &&
+      catalog_version() == claim_version) {
+    plans_.emplace(plan->sql, plan);
+  }
+  plans_cv_.notify_all();
+  return plan;
 }
 
 std::size_t Database::plan_cache_size() {

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -151,6 +153,16 @@ class Database {
   std::shared_ptr<const Plan> find_plan(std::string_view sql);
   /// Publishes a freshly bound plan (first writer wins on a race).
   void cache_plan(std::shared_ptr<const Plan> plan);
+  /// The bind-once front door of the cache: returns the cached plan for
+  /// `sql`, or runs `bind` to produce, publish, and return it. When N
+  /// workers race an uncached text, exactly ONE runs `bind` — the rest
+  /// block on its claim and leave as cache hits, so a statement is bound
+  /// once per catalog version no matter how many workers prepare it. A
+  /// throwing `bind` releases the claim (the exception propagates to its
+  /// caller; the next waiter retries the bind).
+  std::shared_ptr<const Plan> find_or_bind(
+      std::string_view sql,
+      const std::function<std::shared_ptr<const Plan>()>& bind);
   std::size_t plan_cache_size();
   /// find_plan calls that returned a plan (the observable half of the
   /// prepare-once guarantee across workers).
@@ -197,6 +209,10 @@ class Database {
   std::map<std::string, std::shared_ptr<const Plan>, std::less<>> plans_;
   std::uint64_t plans_version_ = 0;
   std::atomic<std::uint64_t> plan_hits_{0};
+  /// SQL texts a find_or_bind caller is currently binding (its claim);
+  /// guarded by plans_mutex_, waited on via plans_cv_.
+  std::set<std::string, std::less<>> binding_;
+  std::condition_variable plans_cv_;
 };
 
 }  // namespace bbpim::db

@@ -87,6 +87,22 @@ class ResultSet {
     return is_update() ? 0 : out_.stats.predicates_short_circuited;
   }
 
+  // --- shared-scan batching (0 for UPDATEs / solo executions) --------------
+  /// Queries fused into the batch this query executed with, itself included
+  /// (0 = executed solo, today's path).
+  std::size_t batched_queries() const {
+    return is_update() ? 0 : out_.stats.batched_queries;
+  }
+  /// Filter-phase page visits that also served at least one batchmate.
+  std::size_t fused_page_passes() const {
+    return is_update() ? 0 : out_.stats.fused_page_passes;
+  }
+  /// Pages whose zone-map classification was reused from the store's
+  /// classification memo instead of recomputed.
+  std::size_t classification_memo_hits() const {
+    return is_update() ? 0 : out_.stats.classification_memo_hits;
+  }
+
   /// Target-table data version this execution observed: the number of
   /// committed updates replayed into the executing store (for an UPDATE,
   /// including itself — its position in the table's update log). 0 for

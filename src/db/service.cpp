@@ -1,5 +1,6 @@
 #include "db/service.hpp"
 
+#include <chrono>
 #include <exception>
 #include <stdexcept>
 #include <utility>
@@ -82,10 +83,7 @@ QueryService::QueryService(Database& db, QueryServiceOptions opts)
 
 QueryService::~QueryService() { shutdown(); }
 
-std::future<ResultSet> QueryService::enqueue(
-    std::function<ResultSet(Session&)> run) {
-  Task task;
-  task.run = std::move(run);
+std::future<ResultSet> QueryService::enqueue(Task task) {
   std::future<ResultSet> result = task.result.get_future();
   {
     std::lock_guard lock(mutex_);
@@ -100,17 +98,29 @@ std::future<ResultSet> QueryService::enqueue(
 
 std::future<ResultSet> QueryService::submit(std::string sql_text,
                                             const engine::ExecOptions& opts) {
-  return enqueue([sql = std::move(sql_text), opts](Session& session) {
+  Task task;
+  task.batchable = true;
+  task.sql = std::move(sql_text);
+  task.opts = opts;
+  task.run = [sql = task.sql, opts](Session& session) {
     return session.execute(sql, opts);
-  });
+  };
+  return enqueue(std::move(task));
 }
 
 std::future<ResultSet> QueryService::submit(std::string sql_text,
                                             BackendKind backend,
                                             const engine::ExecOptions& opts) {
-  return enqueue([sql = std::move(sql_text), backend, opts](Session& session) {
+  Task task;
+  task.batchable = true;
+  task.sql = std::move(sql_text);
+  task.has_backend = true;
+  task.backend = backend;
+  task.opts = opts;
+  task.run = [sql = task.sql, backend, opts](Session& session) {
     return session.execute(sql, backend, opts);
-  });
+  };
+  return enqueue(std::move(task));
 }
 
 std::vector<ResultSet> QueryService::drain(
@@ -155,7 +165,8 @@ void QueryService::warm_up(BackendKind backend) {
   futures.reserve(sessions_.size());
   try {
     for (std::size_t i = 0; i < sessions_.size(); ++i) {
-      futures.push_back(enqueue([backend, barrier](Session& session) {
+      Task warm_task;
+      warm_task.run = [backend, barrier](Session& session) {
         // Always arrive, even on failure: a worker that threw before the
         // barrier would otherwise park its siblings forever.
         std::exception_ptr error;
@@ -175,7 +186,8 @@ void QueryService::warm_up(BackendKind backend) {
         barrier->arrive_and_wait();
         if (error != nullptr) std::rethrow_exception(error);
         return ResultSet();
-      }));
+      };
+      futures.push_back(enqueue(std::move(warm_task)));
     }
   } catch (...) {
     // shutdown() raced us mid-enqueue: a partial barrier can never fill, so
@@ -215,16 +227,57 @@ std::size_t QueryService::executed_count() const {
 
 void QueryService::worker_loop(std::size_t index) {
   Session& session = *sessions_[index];
+  const SharedScanOptions& shared = opts_.shared_scan;
   for (;;) {
-    Task task;
+    std::vector<Task> batch;
     {
       std::unique_lock lock(mutex_);
       work_available_.wait(lock,
                            [&] { return !queue_.empty() || !accepting_; });
       if (queue_.empty()) return;  // shutdown requested and queue drained
-      task = std::move(queue_.front());
+      batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
+      // Batch former: gather the other in-flight statements whose admission
+      // signature matches the one just popped. The queue is drained of
+      // compatible tasks first; when it runs dry the worker waits out the
+      // remainder of the gather window for stragglers. Incompatible tasks
+      // stay queued for other workers (or for this one's next iteration).
+      if (shared.enabled && shared.max_batch > 1 && batch.front().batchable) {
+        // Copies, not references: gathering grows `batch`, which would
+        // invalidate a reference into it.
+        const bool head_has_backend = batch.front().has_backend;
+        const BackendKind head_backend = batch.front().backend;
+        const engine::ExecOptions head_opts = batch.front().opts;
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(shared.gather_window_us);
+        while (batch.size() < shared.max_batch) {
+          bool gathered = false;
+          for (auto it = queue_.begin();
+               it != queue_.end() && batch.size() < shared.max_batch;) {
+            if (it->batchable && it->has_backend == head_has_backend &&
+                it->backend == head_backend && it->opts == head_opts) {
+              batch.push_back(std::move(*it));
+              it = queue_.erase(it);
+              gathered = true;
+            } else {
+              ++it;
+            }
+          }
+          if (batch.size() >= shared.max_batch) break;
+          if (!accepting_) break;  // never stall shutdown for the window
+          if (!gathered &&
+              work_available_.wait_until(lock, deadline) ==
+                  std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
     }
+    if (batch.size() > 1) {
+      serve_batch(session, batch);
+      continue;
+    }
+    Task task = std::move(batch.front());
     // Count before fulfilling the promise: a caller that drained its future
     // must never read an executed_count below what it submitted.
     try {
@@ -240,6 +293,42 @@ void QueryService::worker_loop(std::size_t index) {
         ++executed_;
       }
       task.result.set_exception(std::current_exception());
+    }
+  }
+}
+
+void QueryService::serve_batch(Session& session, std::vector<Task>& batch) {
+  std::vector<std::string> sqls;
+  sqls.reserve(batch.size());
+  for (const Task& t : batch) sqls.push_back(t.sql);
+  std::vector<Session::BatchItem> items;
+  try {
+    items = batch.front().has_backend
+                ? session.execute_batch(sqls, batch.front().backend,
+                                        batch.front().opts)
+                : session.execute_batch(sqls, batch.front().opts);
+  } catch (...) {
+    // The batch entry point itself failed (per-statement problems come back
+    // as items, so this is a service-level fault): every member gets it.
+    const std::exception_ptr error = std::current_exception();
+    for (Task& t : batch) {
+      {
+        std::lock_guard lock(mutex_);
+        ++executed_;
+      }
+      t.result.set_exception(error);
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    {
+      std::lock_guard lock(mutex_);
+      ++executed_;
+    }
+    if (items[i].error != nullptr) {
+      batch[i].result.set_exception(items[i].error);
+    } else {
+      batch[i].result.set_value(std::move(items[i].result));
     }
   }
 }

@@ -42,6 +42,26 @@
 
 namespace bbpim::db {
 
+/// Shared-scan admission (the batch former). When enabled, a worker that
+/// pops a submitted statement gathers the other in-flight statements with a
+/// matching (backend, options) signature — waiting out a small window for
+/// stragglers when the queue runs dry — and serves the whole set through
+/// Session::execute_batch: single-table SELECTs over one table fuse into
+/// ONE pass over its pages, duplicates of one statement execute once, and
+/// everything else runs exactly as today. Per-statement results and errors
+/// land on each submitter's future as usual; rows and semantic stats are
+/// byte-identical to unbatched serving. Off by default — solo executions
+/// then stay byte-identical to the pre-batching service, modeled
+/// time/energy included.
+struct SharedScanOptions {
+  bool enabled = false;
+  /// Most statements one fused pass may serve.
+  std::size_t max_batch = 8;
+  /// How long the batch former keeps waiting for companions once it holds
+  /// at least one statement and the queue is empty.
+  std::uint64_t gather_window_us = 200;
+};
+
 struct QueryServiceOptions {
   /// Worker threads (each with a private Session). 0 = hardware concurrency
   /// (at least 1).
@@ -50,6 +70,8 @@ struct QueryServiceOptions {
   /// shared ModelCache is created from `model_cache_dir`/`model_cache_tag`
   /// and injected into all workers, preserving fit-once across the pool.
   SessionOptions session;
+  /// Shared-scan batched execution of concurrent submissions.
+  SharedScanOptions shared_scan;
 };
 
 class QueryService {
@@ -107,14 +129,24 @@ class QueryService {
   struct Task {
     std::function<ResultSet(Session&)> run;
     std::promise<ResultSet> result;
+    /// Shared-scan admission metadata; set by submit() only (warm-up and
+    /// other internal tasks never fuse).
+    bool batchable = false;
+    std::string sql;
+    bool has_backend = false;
+    BackendKind backend = BackendKind::kOneXb;
+    engine::ExecOptions opts;
   };
 
-  std::future<ResultSet> enqueue(std::function<ResultSet(Session&)> run);
+  std::future<ResultSet> enqueue(Task task);
   /// Blocks on every future in order; rethrows the first failure only after
   /// the whole set completed (workers never die with a batch).
   static std::vector<ResultSet> drain(
       std::vector<std::future<ResultSet>> futures);
   void worker_loop(std::size_t index);
+  /// Serves >= 2 gathered statements through session.execute_batch and
+  /// settles each task's promise (counting every member in executed_).
+  void serve_batch(Session& session, std::vector<Task>& batch);
 
   Database* db_;
   QueryServiceOptions opts_;

@@ -96,6 +96,22 @@ class PimExecutor final : public Executor {
     return out;
   }
 
+  engine::PimQueryEngine::BatchOutput execute_many(
+      const std::vector<const sql::BoundQuery*>& queries,
+      const engine::ExecOptions& opts) override {
+    bool grouped = false;
+    for (const sql::BoundQuery* q : queries) grouped |= q->has_group_by();
+    if (grouped && !opts.force_k.has_value()) ensure_models();
+    // One refresh pins ONE snapshot version for the whole batch: every
+    // member reads the same prefix of the table's update log, and a commit
+    // landing mid-batch is observed by all members or by none.
+    refresh();
+    engine::PimQueryEngine::BatchOutput out =
+        engine_.execute_batch(queries, opts);
+    observed_version_ = snap_->version();
+    return out;
+  }
+
   UpdateResult execute_update(const sql::BoundUpdate& update,
                               const engine::ExecOptions&) override {
     UpdateResult result;
@@ -509,6 +525,22 @@ std::string Executor::explain_scan(const std::vector<sql::BoundPredicate>&) {
                               "' has no physical plan rendering");
 }
 
+engine::PimQueryEngine::BatchOutput Executor::execute_many(
+    const std::vector<const sql::BoundQuery*>& queries,
+    const engine::ExecOptions& opts) {
+  engine::PimQueryEngine::BatchOutput out;
+  out.outputs.resize(queries.size());
+  out.errors.resize(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    try {
+      out.outputs[i] = execute(*queries[i], opts);
+    } catch (...) {
+      out.errors[i] = std::current_exception();
+    }
+  }
+  return out;
+}
+
 Session::Session(Database& db, SessionOptions opts)
     : db_(&db), opts_(std::move(opts)) {
   model_cache_ = opts_.models != nullptr
@@ -532,13 +564,12 @@ PreparedStatement Session::prepare(std::string_view sql_text) {
   }
   auto it = plans_.find(sql_text);
   if (it == plans_.end()) {
-    // Session miss: consult the Database-scope cache so N sessions bind a
-    // shared statement once, then publish a fresh bind for the next session.
-    std::shared_ptr<const Plan> plan = db_->find_plan(sql_text);
-    if (plan == nullptr) {
-      plan = build_plan(sql_text);
-      db_->cache_plan(plan);
-    }
+    // Session miss: go through the Database-scope bind-once front door, so
+    // N sessions (QueryService workers) racing the same uncached statement
+    // bind it exactly once — one binds, the rest block on its claim and
+    // leave with the shared plan as cache hits.
+    std::shared_ptr<const Plan> plan = db_->find_or_bind(
+        sql_text, [&] { return build_plan(sql_text); });
     it = plans_.emplace(plan->sql, std::move(plan)).first;
   }
   return PreparedStatement(*this, it->second);
@@ -664,6 +695,119 @@ ResultSet Session::execute(std::string_view sql_text,
 ResultSet Session::execute(std::string_view sql_text, BackendKind backend,
                            const engine::ExecOptions& opts) {
   return prepare(sql_text).execute(backend, opts);
+}
+
+std::vector<Session::BatchItem> Session::execute_batch(
+    const std::vector<std::string>& sqls, const engine::ExecOptions& opts) {
+  return execute_batch(sqls, opts_.default_backend, opts);
+}
+
+std::vector<Session::BatchItem> Session::execute_batch(
+    const std::vector<std::string>& sqls, BackendKind backend,
+    const engine::ExecOptions& opts) {
+  std::vector<BatchItem> items(sqls.size());
+
+  // Front end, per statement: a text that fails to parse or bind carries
+  // its own error without touching its batchmates.
+  std::vector<std::shared_ptr<const Plan>> plans(sqls.size());
+  for (std::size_t i = 0; i < sqls.size(); ++i) {
+    try {
+      plans[i] = prepare(sqls[i]).plan_;
+    } catch (...) {
+      items[i].error = std::current_exception();
+    }
+  }
+  const auto batchable = [&](std::size_t i) {
+    return items[i].error == nullptr && plans[i] != nullptr &&
+           plans[i]->kind == sql::Statement::Kind::kSelect &&
+           !plans[i]->is_join();
+  };
+
+  // Admission: single-table SELECTs group by target table (backend and
+  // options are uniform across the call); a mixed-table batch splits into
+  // one group per table. Groups form in first-statement order.
+  struct Group {
+    const rel::Table* target = nullptr;
+    std::vector<std::size_t> members;  ///< item indices, statement order
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < sqls.size(); ++i) {
+    if (!batchable(i)) continue;
+    Group* g = nullptr;
+    for (Group& cand : groups) {
+      if (cand.target == plans[i]->target) {
+        g = &cand;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      groups.push_back({plans[i]->target, {}});
+      g = &groups.back();
+    }
+    g->members.push_back(i);
+  }
+
+  for (Group& g : groups) {
+    // Duplicate texts share one plan (the cache interns by SQL text); the
+    // engine executes each unique plan once and every duplicate copies the
+    // result — the cheapest scan is the one that never runs.
+    std::vector<const Plan*> unique;
+    std::vector<std::size_t> slot_of(g.members.size());
+    for (std::size_t m = 0; m < g.members.size(); ++m) {
+      const Plan* p = plans[g.members[m]].get();
+      std::size_t u = 0;
+      while (u < unique.size() && unique[u] != p) ++u;
+      if (u == unique.size()) unique.push_back(p);
+      slot_of[m] = u;
+    }
+    std::vector<const sql::BoundQuery*> queries;
+    queries.reserve(unique.size());
+    for (const Plan* p : unique) queries.push_back(&p->bound);
+
+    std::vector<std::size_t> dup_count(unique.size(), 0);
+    for (const std::size_t u : slot_of) ++dup_count[u];
+
+    Executor& ex = executor_for(backend, *g.target);
+    engine::PimQueryEngine::BatchOutput out = ex.execute_many(queries, opts);
+    const std::uint64_t version = ex.last_data_version();
+    for (std::size_t m = 0; m < g.members.size(); ++m) {
+      const std::size_t i = g.members[m];
+      if (out.errors[slot_of[m]] != nullptr) {
+        items[i].error = out.errors[slot_of[m]];
+        continue;
+      }
+      engine::QueryOutput qo = out.outputs[slot_of[m]];
+      // batched_queries counts the statements whose answers this execution
+      // produced. A fused member served the whole group (duplicates ride
+      // along); an unfused one (engine fell back, or a singleton) still
+      // served its own duplicates. 0 = genuinely solo, today's path.
+      if (qo.stats.batched_queries > 0) {
+        qo.stats.batched_queries = g.members.size();
+      } else if (dup_count[slot_of[m]] > 1) {
+        qo.stats.batched_queries = dup_count[slot_of[m]];
+      }
+      ResultSet rs(std::move(qo),
+                   result_columns(plans[i]->bound, plans[i]->target->schema()),
+                   backend);
+      rs.set_data_version(version);
+      items[i].result = std::move(rs);
+    }
+  }
+
+  // Everything that cannot share a scan (UPDATEs, joins) runs after the
+  // groups, in statement order, exactly as a plain execute() would.
+  for (std::size_t i = 0; i < sqls.size(); ++i) {
+    if (items[i].error != nullptr || plans[i] == nullptr || batchable(i)) {
+      continue;
+    }
+    try {
+      items[i].result = PreparedStatement(*this, plans[i]).execute(backend,
+                                                                   opts);
+    } catch (...) {
+      items[i].error = std::current_exception();
+    }
+  }
+  return items;
 }
 
 std::string Session::explain(std::string_view sql_text) {

@@ -154,6 +154,15 @@ class Executor {
   virtual const rel::Table& target() const = 0;
   virtual engine::QueryOutput execute(const sql::BoundQuery& q,
                                       const engine::ExecOptions& opts) = 0;
+  /// Executes several bound SELECTs over this executor's relation in one
+  /// call: outputs[i]/errors[i] pair with queries[i], exactly one of each
+  /// set per member. The default runs the queries one by one (the host
+  /// baselines have no page pass to share); PIM executors override it with
+  /// the engine's shared-scan fused pass, serving every member from ONE
+  /// pinned snapshot version.
+  virtual engine::PimQueryEngine::BatchOutput execute_many(
+      const std::vector<const sql::BoundQuery*>& queries,
+      const engine::ExecOptions& opts);
   /// Applies a bound UPDATE (Algorithm 1) and commits it to the table's
   /// update log. Throws std::invalid_argument for backends that cannot
   /// mutate (the host baselines read the immutable catalog table).
@@ -210,6 +219,28 @@ class Session {
                     const engine::ExecOptions& opts = {});
   ResultSet execute(std::string_view sql_text, BackendKind backend,
                     const engine::ExecOptions& opts = {});
+
+  /// One statement's outcome in execute_batch: exactly one of `result` /
+  /// `error` is set (per-statement errors never fail batchmates).
+  struct BatchItem {
+    ResultSet result;
+    std::exception_ptr error;
+  };
+  /// Shared-scan batched execution: prepares every statement, groups the
+  /// single-table non-join SELECTs by target table — duplicates of one plan
+  /// execute once and share the ResultSet — and runs each group through the
+  /// executor's fused pass (Executor::execute_many), so a group's members
+  /// read one snapshot version in one pass over its pages. Statements that
+  /// cannot share a scan (UPDATEs, joins) run after the groups, in
+  /// statement order, exactly as today. Results align with `sqls`; each
+  /// item's rows and semantic stats are byte-identical to a solo execute()
+  /// of the same text.
+  std::vector<BatchItem> execute_batch(const std::vector<std::string>& sqls,
+                                       const engine::ExecOptions& opts = {});
+  std::vector<BatchItem> execute_batch(const std::vector<std::string>& sqls,
+                                       BackendKind backend,
+                                       const engine::ExecOptions& opts = {});
+
   /// EXPLAIN on the default (or given) PIM backend.
   std::string explain(std::string_view sql_text);
   std::string explain(std::string_view sql_text, BackendKind backend);

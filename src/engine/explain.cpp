@@ -1,8 +1,10 @@
 #include "engine/explain.hpp"
 
 #include <iomanip>
+#include <memory>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "engine/filter_compiler.hpp"
 #include "pim/agg_circuit.hpp"
@@ -79,7 +81,13 @@ void filter_section(const std::vector<sql::BoundPredicate>& filters,
   }
 
   // Zone-map classification: what pruning (ExecOptions::prune) would skip.
-  const FilterPruneAnalysis zones = analyze_filters(ordered, store);
+  // Routed through the store's classification memo, so explaining a query a
+  // pruned execution already classified reuses the cached analysis — and
+  // the memo line below reports exactly that reuse.
+  std::size_t memo_pages_reused = 0;
+  const std::shared_ptr<const FilterPruneAnalysis> analysis =
+      analyze_filters_cached(ordered, store, &memo_pages_reused);
+  const FilterPruneAnalysis& zones = *analysis;
   os << "ZONE MAP: " << zones.pages_skipped << "/" << store.pages_per_part()
      << " pages skipped (" << zones.crossbars_skipped << " crossbars), "
      << zones.pages_synthesized << " always-true part-page program(s) "
@@ -88,6 +96,13 @@ void filter_section(const std::vector<sql::BoundPredicate>& filters,
      << (zones.pages_skipped + zones.pages_synthesized > 0 ? " [with prune on]"
                                                            : "")
      << "\n";
+  os << "ZONE MAP MEMO: "
+     << (memo_pages_reused > 0
+             ? "hit — " + std::to_string(memo_pages_reused) +
+                   " page classification(s) reused"
+             : "miss — classification computed and cached")
+     << " (store memo: " << store.classification_memo().hit_count() << " hit(s), "
+     << store.classification_memo().miss_count() << " miss(es))\n";
 }
 
 }  // namespace

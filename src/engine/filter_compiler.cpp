@@ -93,17 +93,32 @@ CompiledFilter compile_filter(const std::vector<sql::BoundPredicate>& filters,
 
 namespace {
 
-/// Exact (collision-free) textual key over everything compilation reads:
-/// the part, the verbatim allocator state, and every predicate field.
-std::string filter_cache_key(const std::vector<sql::BoundPredicate>& filters,
-                             int part, const std::string& alloc_state) {
-  std::ostringstream key;
-  key << part << '#' << alloc_state;
+/// Exact (collision-free) serialization of every predicate field, in order.
+void append_predicates(std::ostringstream& key,
+                       const std::vector<sql::BoundPredicate>& filters) {
   for (const sql::BoundPredicate& p : filters) {
     key << '|' << static_cast<int>(p.kind) << ',' << p.attr << ',' << p.v1
         << ',' << p.v2;
     for (const std::uint64_t v : p.in_values) key << ';' << v;
   }
+}
+
+/// Key over everything compilation reads: the part, the verbatim allocator
+/// state, and every predicate field.
+std::string filter_cache_key(const std::vector<sql::BoundPredicate>& filters,
+                             int part, const std::string& alloc_state) {
+  std::ostringstream key;
+  key << part << '#' << alloc_state;
+  append_predicates(key, filters);
+  return key.str();
+}
+
+/// Key over everything classification reads beyond the store itself (the
+/// memo is scoped to one store version, so data and layout are implicit).
+std::string classification_memo_key(
+    const std::vector<sql::BoundPredicate>& filters) {
+  std::ostringstream key;
+  append_predicates(key, filters);
   return key.str();
 }
 
@@ -271,6 +286,23 @@ FilterPruneAnalysis analyze_filters(
     }
   }
   return out;
+}
+
+std::shared_ptr<const FilterPruneAnalysis> analyze_filters_cached(
+    const std::vector<sql::BoundPredicate>& filters, const PimStore& store,
+    std::size_t* memo_pages_reused) {
+  ClassificationMemo& memo = store.classification_memo();
+  const std::string key = classification_memo_key(filters);
+  if (std::shared_ptr<const FilterPruneAnalysis> hit = memo.find(key)) {
+    if (memo_pages_reused != nullptr) {
+      *memo_pages_reused += hit->page_skip.size();
+    }
+    return hit;
+  }
+  auto fresh = std::make_shared<const FilterPruneAnalysis>(
+      analyze_filters(filters, store));
+  memo.insert(key, fresh);
+  return fresh;
 }
 
 std::vector<std::uint8_t> analyze_group_match(

@@ -78,6 +78,19 @@ struct FilterPruneAnalysis {
 FilterPruneAnalysis analyze_filters(
     const std::vector<sql::BoundPredicate>& filters, const PimStore& store);
 
+/// analyze_filters through the store's ClassificationMemo: queries whose
+/// WHERE normalizes to the same ordered predicate list — batch members
+/// sharing a filter, repeated prepared-statement executions — classify each
+/// (page, predicate) pair once per store version instead of once per query.
+/// On a memo hit, `*memo_pages_reused` (when non-null) is incremented by the
+/// number of pages whose classification was reused (the per-query
+/// `classification_memo_hits` stat). The returned analysis is immutable and
+/// shared; it stays valid for the lifetime of the pinned snapshot (views) or
+/// until the next mutation (builder stores).
+std::shared_ptr<const FilterPruneAnalysis> analyze_filters_cached(
+    const std::vector<sql::BoundPredicate>& filters, const PimStore& store,
+    std::size_t* memo_pages_reused = nullptr);
+
 /// Pages where an equality match on `group_attrs` == `key` could select at
 /// least one record (out[p] = 1). Used by pim-gb to skip pages that cannot
 /// contain a subgroup — the per-subgroup analogue of analyze_filters. Only

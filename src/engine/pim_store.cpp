@@ -341,6 +341,10 @@ void PimStore::note_mutation(std::size_t attr,
   // observe data mutation — per-part invalidation keeps the contract simple
   // and is what the regression tests pin.
   filter_cache_.invalidate(part_of_attr(attr));
+
+  // Page classifications summarize the mutated data; drop them wholesale
+  // (keys do not name attributes, and mutation is rare on the builder).
+  class_memo_.invalidate();
 }
 
 }  // namespace bbpim::engine

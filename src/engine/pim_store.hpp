@@ -142,6 +142,14 @@ class PimStore {
     return snap_ != nullptr ? snap_->filter_cache() : filter_cache_;
   }
 
+  /// Memoized static page classifications (see ClassificationMemo). Views
+  /// delegate to their snapshot's per-version memo; builders own one that
+  /// note_mutation invalidates, so classifications never outlive the data
+  /// they summarize.
+  ClassificationMemo& classification_memo() const {
+    return snap_ != nullptr ? snap_->classification_memo() : class_memo_;
+  }
+
   /// Options::max_distinct (the distinct-stats cardinality cap).
   std::size_t max_distinct() const { return max_distinct_; }
   /// True once `attr`'s stored values diverged from the backing table.
@@ -251,6 +259,8 @@ class PimStore {
                    std::unordered_map<std::uint64_t, std::vector<std::uint64_t>>>
       co_cache_;
   FilterCache filter_cache_;
+  /// Builder-owned classification memo (views use their snapshot's).
+  mutable ClassificationMemo class_memo_;
   /// Lazily rebuilt for attributes marked stale (see zone_maps), hence
   /// mutable.
   mutable ZoneMaps zones_;

@@ -57,9 +57,14 @@ namespace {
 
 class Execution {
  public:
+  /// `shared_allocs` (one ColumnAlloc per part) switches this execution into
+  /// batch mode: scratch columns come from the batch's shared allocators —
+  /// private allocators would hand different queries the same physical
+  /// columns — and nothing else changes. nullptr (solo) builds private ones.
   Execution(EngineKind kind, PimStore& store, const host::HostConfig& hcfg,
             const LatencyModels& models, const sql::BoundQuery& q,
-            const ExecOptions& opts)
+            const ExecOptions& opts,
+            std::vector<pim::ColumnAlloc>* shared_allocs = nullptr)
       : kind_(kind),
         store_(store),
         cfg_(store.module().config()),
@@ -69,9 +74,15 @@ class Execution {
         opts_(opts),
         sim_threads_(resolve_threads(opts.sim_threads.value_or(hcfg.sim_threads))),
         vectorized_(!opts.sim_scalar),
-        prune_(opts.prune.value_or(hcfg.prune)) {
-    for (int part = 0; part < store_.parts(); ++part) {
-      allocs_.push_back(store_.layout(part).make_alloc());
+        prune_(opts.prune.value_or(hcfg.prune)),
+        wallprof_(std::getenv("BBPIM_SIM_WALLPROF") != nullptr) {
+    if (shared_allocs != nullptr) {
+      alloc_src_ = shared_allocs;
+    } else {
+      for (int part = 0; part < store_.parts(); ++part) {
+        allocs_.push_back(store_.layout(part).make_alloc());
+      }
+      alloc_src_ = &allocs_;
     }
     // Selectivity-ordered execution: predicates compile most-selective
     // first (sketch-estimated; deterministic). AND is commutative and each
@@ -82,9 +93,13 @@ class Execution {
     all_pages_.resize(store.pages_per_part());
     for (std::size_t p = 0; p < all_pages_.size(); ++p) all_pages_[p] = p;
     if (prune_) {
-      analysis_ = analyze_filters(filters_, store);
+      // Memoized classification: batch members sharing a WHERE — and
+      // repeated executions against the same store version — reuse one
+      // analysis instead of re-classifying every (page, predicate) pair.
+      analysis_ = analyze_filters_cached(filters_, store,
+                                         &stats_.classification_memo_hits);
       for (std::size_t p = 0; p < all_pages_.size(); ++p) {
-        if (!analysis_.page_skip[p]) active_pages_.push_back(p);
+        if (!analysis_->page_skip[p]) active_pages_.push_back(p);
       }
     } else {
       active_pages_ = all_pages_;
@@ -98,11 +113,60 @@ class Execution {
   /// walk reading back `attrs` (see PimQueryEngine::execute_scan).
   ScanOutput run_scan(const std::vector<std::size_t>& attrs);
 
+  // --- shared-scan batching -------------------------------------------------
+  // A batch executes in three stages. Stage 1, per member in batch order:
+  // batch_prepare() analyzes and compiles the member's WHERE (no gate
+  // program runs). Stage 2, once: run_fused_filter() walks the store page by
+  // page and runs every member's gate program back to back per crossbar
+  // visit, journaling energy and traces per (visit, member). Stage 3, per
+  // member in batch order: batch_finish() schedules the member's own traces
+  // into its own clock and runs the rest of the query exactly as run()
+  // would. Per-member meters, trackers, and clocks mean a member's modeled
+  // cost comes entirely from its own work — a batchmate is never billed.
+
+  /// Stage 1: predicate analysis, program compilation (through the shared
+  /// filter cache), always-true page synthesis. Caller resets module wear
+  /// once per batch before any stage-2 program runs.
+  void batch_prepare() { filter_compile(); }
+
+  /// Stage 2: the fused pass. Visits every (part, page) some member runs
+  /// on, in part-major page-ascending order — each member's subsequence is
+  /// exactly its solo job order, which is what keeps its meter replay and
+  /// trace schedule bit-identical in shape to a solo run. Members' programs
+  /// within one visit run sequentially in batch order (programs may share
+  /// released temp columns; sequencing makes the reuse safe), visits run in
+  /// parallel under the batch's sim-thread budget with per-(visit, member)
+  /// journal meters replayed deterministically afterwards.
+  static void run_fused_filter(const std::vector<Execution*>& execs);
+
+  /// Stage 3: schedules this member's fused traces (same order and window
+  /// parameters its solo logic_phase would use), combines part results,
+  /// builds the aggregation plan, and finishes the query. Releases every
+  /// scratch column still held so the shared allocator is clean for the
+  /// next member's tail.
+  QueryOutput batch_finish();
+
  private:
   // --- small helpers --------------------------------------------------------
   std::size_t pages() const { return store_.pages_per_part(); }
   std::uint32_t rows() const { return cfg_.crossbar_rows; }
-  pim::ColumnAlloc& alloc(int part) { return allocs_[part]; }
+  pim::ColumnAlloc& alloc(int part) { return (*alloc_src_)[part]; }
+
+  /// Wall-clock phase instrumentation of the simulation itself (not the
+  /// modeled time), printed to stderr when BBPIM_SIM_WALLPROF is set.
+  template <typename Fn>
+  void wall(const char* name, Fn&& fn) {
+    if (!wallprof_) {
+      fn();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    std::fprintf(stderr, "[sim-wall] %-12s %8.3f ms\n", name,
+                 std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
 
   void advance_clock(TimeNs phase_end, TimeNs* slot) {
     const TimeNs dur = phase_end - clock_ + hcfg_.phase_overhead_ns;
@@ -274,7 +338,23 @@ class Execution {
   }
 
   // --- phases ---------------------------------------------------------------
+  /// Filter front half: prune stats, program compilation (filter cache),
+  /// per-part run-page and pending-synthesis lists. No gate program runs.
+  void filter_compile();
+  /// Copies the validity column into the result column of every page queued
+  /// in synth_pages_ (see that member for why this runs after the gate
+  /// programs, never before).
+  void synthesize_pending();
+  /// Filter back half: part combination (two-xb transfer + AND) and the
+  /// selected-record popcount. Requires the gate programs to have run and
+  /// synthesize_pending() to have been called.
+  void filter_combine();
+  /// filter_compile + the solo gate-program phase + filter_combine; the
+  /// batch path replaces the middle step with the fused pass.
   void filter_phase();
+  /// Everything run() does after the filter phase: aggregation, planning,
+  /// group-by, finalize, planner-input export, stats epilogue.
+  QueryOutput finish_run();
   void build_agg_passes();
   void no_groupby_aggregate();
   void sample_phase();
@@ -343,16 +423,35 @@ class Execution {
   const sql::BoundQuery& q_;
   const ExecOptions& opts_;
 
-  std::vector<pim::ColumnAlloc> allocs_;
+  std::vector<pim::ColumnAlloc> allocs_;   ///< private scratch (solo mode)
+  /// Where alloc() draws from: &allocs_ solo, the batch's shared set fused.
+  std::vector<pim::ColumnAlloc>* alloc_src_ = nullptr;
   unsigned sim_threads_ = 1;  ///< resolved simulation thread budget
   bool vectorized_ = true;    ///< fast kernels (off for the scalar baseline)
   bool prune_ = false;        ///< zone-map data skipping for this execution
+  bool wallprof_ = false;     ///< BBPIM_SIM_WALLPROF phase instrumentation
   /// q_.filters reordered most-selective-first (what actually compiles).
   std::vector<sql::BoundPredicate> filters_;
-  FilterPruneAnalysis analysis_;           ///< meaningful when prune_
+  /// Shared (memoized) when prune_; nullptr otherwise.
+  std::shared_ptr<const FilterPruneAnalysis> analysis_;
   std::vector<std::size_t> all_pages_;     ///< 0 .. pages()-1
   std::vector<std::size_t> active_pages_;  ///< pages the filter executes on
   std::vector<std::uint8_t> mask_ready_;   ///< mask_col_ initialized per page
+  /// Compiled per-part WHERE programs (filter_compile -> combine/fused pass).
+  std::vector<std::shared_ptr<const CompiledFilter>> compiled_;
+  /// Per-part pages whose gate program actually runs (active minus synth).
+  std::vector<std::vector<std::size_t>> run_pages_;
+  /// Per-part pages whose predicate subset is provably always-true, awaiting
+  /// validity-copy synthesis. Deferred until after the gate programs ran:
+  /// in a batch, a batchmate's program may reuse this member's result column
+  /// as a released temp on pages this member never visits — synthesizing
+  /// before the fused pass would let that trample the copied bits. (Solo
+  /// runs synthesize between compile and the logic phase, as always.)
+  std::vector<std::vector<std::size_t>> synth_pages_;
+  bool skip_transfer_ = false;  ///< two-xb: part 1 provably all-true
+  /// Fused-pass traces of THIS member, in its solo job order; scheduled by
+  /// batch_finish into the member's own clock.
+  std::vector<pim::RequestTrace> pending_traces_;
   pim::EnergyMeter meter_;
   pim::PowerTracker tracker_;
   TimeNs clock_ = 0;
@@ -383,12 +482,12 @@ class Execution {
 // Phase 1: filter
 // ---------------------------------------------------------------------------
 
-void Execution::filter_phase() {
+void Execution::filter_compile() {
   if (prune_) {
-    stats_.pages_skipped = analysis_.pages_skipped;
-    stats_.pages_synthesized = analysis_.pages_synthesized;
-    stats_.crossbars_skipped = analysis_.crossbars_skipped;
-    stats_.predicates_short_circuited = analysis_.predicates_short_circuited;
+    stats_.pages_skipped = analysis_->pages_skipped;
+    stats_.pages_synthesized = analysis_->pages_synthesized;
+    stats_.crossbars_skipped = analysis_->crossbars_skipped;
+    stats_.predicates_short_circuited = analysis_->predicates_short_circuited;
   }
 
   // Memoized compilation: the key covers (predicates, part, allocator
@@ -397,13 +496,12 @@ void Execution::filter_phase() {
   // from scratch, matching the pre-cache behavior it measures.
   const std::size_t cache_h0 = store_.filter_cache().hit_count();
   const std::size_t cache_m0 = store_.filter_cache().miss_count();
-  std::vector<std::shared_ptr<const CompiledFilter>> compiled;
   for (int part = 0; part < store_.parts(); ++part) {
     if (vectorized_) {
-      compiled.push_back(store_.filter_cache().get_or_compile(
+      compiled_.push_back(store_.filter_cache().get_or_compile(
           filters_, part, store_.layout(part), alloc(part)));
     } else {
-      compiled.push_back(std::make_shared<const CompiledFilter>(
+      compiled_.push_back(std::make_shared<const CompiledFilter>(
           compile_filter(filters_, store_.layout(part), alloc(part))));
     }
   }
@@ -416,64 +514,63 @@ void Execution::filter_phase() {
   // Per-part gate-program page lists: active pages minus the pages whose
   // part subset is provably always-true — those get the validity column
   // synthesized into the result column instead (no gate program).
-  std::vector<std::vector<std::size_t>> run_pages(store_.parts());
+  run_pages_.assign(store_.parts(), {});
   // two-xb: when every active page of part 1 is synthesizable, its result
   // column would be exactly the validity column, which part 0's program
   // already folds in — the whole inter-part transfer is skipped.
-  const bool skip_transfer =
+  skip_transfer_ =
       prune_ && store_.parts() == 2 &&
       [&] {
         for (const std::size_t p : active_pages_) {
-          if (!analysis_.page_synth[p][1]) return false;
+          if (!analysis_->page_synth[p][1]) return false;
         }
         return true;
       }();
+  synth_pages_.assign(store_.parts(), {});
   for (int part = 0; part < store_.parts(); ++part) {
-    if (part == 1 && skip_transfer) continue;  // program never needed
-    std::vector<std::size_t> synth;
+    if (part == 1 && skip_transfer_) continue;  // program never needed
     for (const std::size_t p : active_pages_) {
-      if (prune_ && analysis_.page_synth[p][part]) {
-        synth.push_back(p);
+      if (prune_ && analysis_->page_synth[p][part]) {
+        synth_pages_[part].push_back(p);
       } else {
-        run_pages[part].push_back(p);
+        run_pages_[part].push_back(p);
       }
     }
-    if (!synth.empty()) {
-      synthesize_column(part, compiled[part]->result_col, synth,
-                        /*valid_copy=*/true);
-    }
   }
-  {
-    std::vector<PhaseProg> progs;
-    for (int part = 0; part < store_.parts(); ++part) {
-      if (part == 1 && skip_transfer) continue;
-      progs.push_back({part, &compiled[part]->program, &compiled[part]->words,
-                       &run_pages[part]});
-    }
-    logic_phase(progs, &stats_.phases.filter);
-  }
+}
 
+void Execution::synthesize_pending() {
+  for (int part = 0; part < store_.parts(); ++part) {
+    if (!synth_pages_[part].empty()) {
+      synthesize_column(part, compiled_[part]->result_col, synth_pages_[part],
+                        /*valid_copy=*/true);
+      synth_pages_[part].clear();
+    }
+  }
+}
+
+void Execution::filter_combine() {
   if (store_.parts() == 1) {
-    r_col_ = compiled[0]->result_col;
-  } else if (skip_transfer) {
-    alloc(1).release(compiled[1]->result_col);
-    r_col_ = compiled[0]->result_col;
+    r_col_ = compiled_[0]->result_col;
+  } else if (skip_transfer_) {
+    alloc(1).release(compiled_[1]->result_col);
+    r_col_ = compiled_[0]->result_col;
   } else {
     // two-xb: ship part 1's bits through the host and AND them into part 0.
     transfer_chunk_ = alloc(0).alloc_aligned_chunk(cfg_.read_bits);
     const std::vector<BitVec> bits = read_column_phase(
-        1, compiled[1]->result_col, &stats_.phases.transfer, &active_pages_);
+        1, compiled_[1]->result_col, &stats_.phases.transfer, &active_pages_);
     write_column_phase(0, transfer_chunk_->offset, bits,
                        &stats_.phases.transfer, &active_pages_);
     pim::ProgramBuilder pb(alloc(0));
     const std::uint16_t combined =
-        pb.emit_and(compiled[0]->result_col, transfer_chunk_->offset);
+        pb.emit_and(compiled_[0]->result_col, transfer_chunk_->offset);
     const pim::WordProgram wp = {pim::WordOp::and_op(
-        compiled[0]->result_col, transfer_chunk_->offset, combined)};
+        compiled_[0]->result_col, transfer_chunk_->offset, combined)};
     const pim::MicroProgram prog = pb.take();
     logic_phase({{0, &prog, &wp, &active_pages_}}, &stats_.phases.transfer);
-    alloc(0).release(compiled[0]->result_col);
-    alloc(1).release(compiled[1]->result_col);
+    alloc(0).release(compiled_[0]->result_col);
+    alloc(1).release(compiled_[1]->result_col);
     r_col_ = combined;
   }
 
@@ -496,6 +593,21 @@ void Execution::filter_phase() {
   stats_.selected_records = selected;
   stats_.selectivity =
       static_cast<double>(selected) / static_cast<double>(store_.record_count());
+}
+
+void Execution::filter_phase() {
+  filter_compile();
+  {
+    std::vector<PhaseProg> progs;
+    for (int part = 0; part < store_.parts(); ++part) {
+      if (part == 1 && skip_transfer_) continue;
+      progs.push_back({part, &compiled_[part]->program, &compiled_[part]->words,
+                       &run_pages_[part]});
+    }
+    logic_phase(progs, &stats_.phases.filter);
+  }
+  synthesize_pending();
+  filter_combine();
 }
 
 // ---------------------------------------------------------------------------
@@ -886,7 +998,7 @@ void Execution::sample_phase() {
   // (because the unpruned run would have read an all-zero column) the
   // resulting estimates, candidates, and plan are identical either way.
   BitVec bits;
-  const bool page0_skipped = prune_ && analysis_.page_skip[0] != 0;
+  const bool page0_skipped = prune_ && analysis_->page_skip[0] != 0;
   if (!page0_skipped) {
     pim::RequestTrace t =
         pim::read_bit_column(store_.page(0, 0), r_col_, hcfg_.line_stream_ns,
@@ -1388,27 +1500,13 @@ void Execution::finalize_phase() {
 // ---------------------------------------------------------------------------
 
 QueryOutput Execution::run() {
-  // Wall-clock phase breakdown of the simulation itself (not the modeled
-  // time), printed to stderr when BBPIM_SIM_WALLPROF is set — the tool the
-  // perf work in this engine is measured with.
-  const bool wallprof = std::getenv("BBPIM_SIM_WALLPROF") != nullptr;
-  auto wall = [&](const char* name, auto&& fn) {
-    if (!wallprof) {
-      fn();
-      return;
-    }
-    const auto t0 = std::chrono::steady_clock::now();
-    fn();
-    std::fprintf(stderr, "[sim-wall] %-12s %8.3f ms\n", name,
-                 std::chrono::duration<double, std::milli>(
-                     std::chrono::steady_clock::now() - t0)
-                     .count());
-  };
   store_.module().reset_wear();
-
   wall("agg_passes", [&] { build_agg_passes(); });
   wall("filter", [&] { filter_phase(); });
+  return finish_run();
+}
 
+QueryOutput Execution::finish_run() {
   // Early-exit aggregation on statically empty selects: every page was
   // skipped by the zone maps, so the host knows — without one PIM request —
   // that zero records survive. The plan-semantic stats (candidates, chosen
@@ -1471,6 +1569,139 @@ void Execution::finish_stats() {
   stats_.energy_agg_circuit_j = energy.agg_circuit;
   stats_.peak_chip_w = tracker_.peak_module_w() / cfg_.chips;
   stats_.wear_row_writes = store_.module().max_row_writes();
+}
+
+// ---------------------------------------------------------------------------
+// Shared-scan batching (stages 2 and 3; see the public section above)
+// ---------------------------------------------------------------------------
+
+void Execution::run_fused_filter(const std::vector<Execution*>& execs) {
+  struct MemberProg {
+    Execution* exec;
+    const pim::MicroProgram* prog;
+    const pim::WordProgram* words;
+  };
+  struct Visit {
+    int part;
+    std::size_t page;
+    std::vector<MemberProg> progs;  ///< batch order
+  };
+
+  Execution& lead = *execs.front();
+  const int parts = lead.store_.parts();
+  const std::size_t pages = lead.pages();
+
+  // Visit assembly, part-major page-ascending: a member's subsequence of
+  // visits is then exactly its solo job order (run_pages_ lists ascend), so
+  // its meter replay and trace schedule below match a solo run's shape.
+  std::vector<Visit> visits;
+  for (int part = 0; part < parts; ++part) {
+    std::vector<std::vector<std::uint8_t>> member_runs(execs.size());
+    for (std::size_t m = 0; m < execs.size(); ++m) {
+      Execution* e = execs[m];
+      if (part == 1 && e->skip_transfer_) continue;
+      if (e->compiled_[part]->program.empty()) continue;
+      if (e->run_pages_[part].empty()) continue;
+      member_runs[m].assign(pages, 0);
+      for (const std::size_t p : e->run_pages_[part]) member_runs[m][p] = 1;
+    }
+    for (std::size_t pg = 0; pg < pages; ++pg) {
+      Visit v{part, pg, {}};
+      for (std::size_t m = 0; m < execs.size(); ++m) {
+        if (member_runs[m].empty() || !member_runs[m][pg]) continue;
+        v.progs.push_back({execs[m], &execs[m]->compiled_[part]->program,
+                           &execs[m]->compiled_[part]->words});
+      }
+      if (!v.progs.empty()) visits.push_back(std::move(v));
+    }
+  }
+  if (visits.empty()) return;
+
+  // Flat (visit, member) slots. Journal meters always — even single-thread —
+  // so every run performs the identical per-member sequence of meter adds
+  // regardless of how visits were scheduled across simulation threads.
+  std::vector<std::size_t> off(visits.size() + 1, 0);
+  for (std::size_t v = 0; v < visits.size(); ++v) {
+    off[v + 1] = off[v] + visits[v].progs.size();
+  }
+  std::vector<pim::EnergyMeter> meters(off.back(),
+                                       pim::EnergyMeter(/*journal=*/true));
+  std::vector<pim::RequestTrace> traces(off.back());
+
+  auto run_visit = [&](std::size_t vi) {
+    const Visit& v = visits[vi];
+    pim::Page& page = lead.store_.page(v.part, v.page);
+    // Members run back to back within the visit — the shared-scan locality
+    // win, and what makes released-temp-column reuse across members safe
+    // (every program writes its temps before reading them).
+    for (std::size_t i = 0; i < v.progs.size(); ++i) {
+      const MemberProg& mp = v.progs[i];
+      traces[off[vi] + i] =
+          pim::execute_program(page, *mp.prog, lead.cfg_, &meters[off[vi] + i],
+                               mp.exec->vectorized_, mp.words);
+    }
+  };
+  // Visits touch disjoint (part, page) state, so they parallelize exactly
+  // like solo filter jobs do. The batch shares one thread budget (admission
+  // only groups executions with identical options).
+  const unsigned threads = lead.sim_threads_;
+  if (threads <= 1 || visits.size() <= 1) {
+    for (std::size_t vi = 0; vi < visits.size(); ++vi) run_visit(vi);
+  } else {
+    parallel_for(visits.size(), threads,
+                 [&](std::size_t, std::size_t begin, std::size_t end) {
+                   for (std::size_t vi = begin; vi < end; ++vi) run_visit(vi);
+                 });
+  }
+
+  // Demux: each slot's energy replays into its member's own meter and its
+  // trace joins the member's own pending list, in visit order — a member is
+  // billed for exactly the work its solo run would have done. A visit that
+  // served two or more members counts as a fused page pass for each.
+  for (std::size_t vi = 0; vi < visits.size(); ++vi) {
+    const bool shared = visits[vi].progs.size() > 1;
+    for (std::size_t i = 0; i < visits[vi].progs.size(); ++i) {
+      Execution* e = visits[vi].progs[i].exec;
+      meters[off[vi] + i].replay_into(e->meter_);
+      e->pending_traces_.push_back(traces[off[vi] + i]);
+      if (shared) ++e->stats_.fused_page_passes;
+    }
+  }
+}
+
+QueryOutput Execution::batch_finish() {
+  // The member's fused traces schedule exactly as its solo logic_phase
+  // would have: same order, same window parameters, its own clock from 0.
+  // An empty list (everything synthesized or pruned) means no phase at all,
+  // matching logic_phase's early return.
+  if (!pending_traces_.empty()) {
+    schedule_phase(pending_traces_, hcfg_.request_window, hcfg_.issue_ns,
+                   &stats_.phases.filter);
+    pending_traces_.clear();
+  }
+  // Synthesis waits until the member's own tail: every batchmate program
+  // that could reuse this member's result column as a temp has already run.
+  synthesize_pending();
+  filter_combine();
+  // Deferred from run()'s prologue: allocating every member's result/count
+  // fields up front would exhaust the shared scratch space; allocating in
+  // the tail reuses the columns released by the previous member's tail.
+  build_agg_passes();
+  QueryOutput out = finish_run();
+
+  // Return held scratch to the shared allocator for the next member's tail.
+  alloc(0).release(r_col_);
+  if (transfer_chunk_) {
+    alloc(0).release_field(*transfer_chunk_);
+    transfer_chunk_.reset();
+  }
+  alloc(0).release_field(result_field_);
+  alloc(0).release_field(count_field_);
+  if (mask_valid_) {
+    alloc(0).release(mask_col_);
+    mask_valid_ = false;
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -1593,6 +1824,73 @@ QueryOutput PimQueryEngine::execute(const sql::BoundQuery& q,
                                     const ExecOptions& opts) {
   Execution exec(kind_, *store_, hcfg_, models_, q, opts);
   return exec.run();
+}
+
+PimQueryEngine::BatchOutput PimQueryEngine::execute_batch(
+    const std::vector<const sql::BoundQuery*>& queries,
+    const ExecOptions& opts) {
+  BatchOutput out;
+  out.outputs.resize(queries.size());
+  out.errors.resize(queries.size());
+  if (queries.empty()) return out;
+  if (queries.size() == 1) {
+    // Degenerate batch: exactly today's solo path, stats included
+    // (batched_queries stays 0).
+    try {
+      out.outputs[0] = execute(*queries[0], opts);
+    } catch (...) {
+      out.errors[0] = std::current_exception();
+    }
+    return out;
+  }
+  try {
+    // Shared scratch allocators, one per part and spanning the whole batch:
+    // no two members are ever handed the same physical column, and a
+    // member's tail reuses whatever its released predecessors occupied.
+    std::vector<pim::ColumnAlloc> shared;
+    shared.reserve(static_cast<std::size_t>(store_->parts()));
+    for (int part = 0; part < store_->parts(); ++part) {
+      shared.push_back(store_->layout(part).make_alloc());
+    }
+    // One wear epoch per batch (solo run() resets per query; the tails must
+    // not reset it again or they would erase the fused pass's writes).
+    store_->module().reset_wear();
+
+    std::vector<std::unique_ptr<Execution>> execs;
+    execs.reserve(queries.size());
+    for (const sql::BoundQuery* q : queries) {
+      execs.push_back(std::make_unique<Execution>(kind_, *store_, hcfg_,
+                                                  models_, *q, opts, &shared));
+    }
+    std::vector<Execution*> raw;
+    raw.reserve(execs.size());
+    for (const std::unique_ptr<Execution>& e : execs) raw.push_back(e.get());
+    for (Execution* e : raw) e->batch_prepare();
+    Execution::run_fused_filter(raw);
+    // Tails run sequentially in batch order: they mutate shared crossbar
+    // scratch (aggregation passes) and the shared allocators.
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      out.outputs[i] = raw[i]->batch_finish();
+      out.outputs[i].stats.batched_queries = queries.size();
+    }
+  } catch (...) {
+    // Any failure in the fused path — a member whose aggregate the engine
+    // does not support, scratch exhaustion on an oversized batch — falls
+    // back to executing every member solo, which reproduces each member's
+    // own result or error without a batchmate in the blast radius.
+    // Leftover shared-scratch garbage is harmless: programs initialize
+    // their own columns, and solo run() resets wear.
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      out.outputs[i] = QueryOutput{};
+      out.errors[i] = nullptr;
+      try {
+        out.outputs[i] = execute(*queries[i], opts);
+      } catch (...) {
+        out.errors[i] = std::current_exception();
+      }
+    }
+  }
+  return out;
 }
 
 ScanOutput PimQueryEngine::execute_scan(

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <optional>
 #include <vector>
 
@@ -99,6 +100,17 @@ struct QueryStats {
   // --- compiled-filter cache traffic of this execution ---------------------
   std::size_t filter_cache_hits = 0;
   std::size_t filter_cache_misses = 0;
+
+  // --- shared-scan batching (all zero for solo executions) -----------------
+  /// Queries fused into the batch this query executed with (incl. itself).
+  std::size_t batched_queries = 0;
+  /// Page visits of this query's filter pass that also served at least one
+  /// other batch member (the shared-scan savings, per query).
+  std::size_t fused_page_passes = 0;
+  /// Pages whose zone-map classification was reused from the classification
+  /// memo instead of recomputed (batch members sharing a WHERE, or repeated
+  /// executions against the same store version).
+  std::size_t classification_memo_hits = 0;
 };
 
 struct ResultRow {
@@ -148,6 +160,9 @@ struct ExecOptions {
   /// removes work, which is why it is excluded from the model-cache config
   /// fingerprint. Unset defers to HostConfig::prune.
   std::optional<bool> prune;
+
+  /// Batch admission groups only executions with identical knobs.
+  bool operator==(const ExecOptions&) const = default;
 };
 
 class PimQueryEngine {
@@ -157,6 +172,29 @@ class PimQueryEngine {
                  LatencyModels models = {});
 
   QueryOutput execute(const sql::BoundQuery& q, const ExecOptions& opts = {});
+
+  /// Result of one shared-scan batch: outputs[i]/errors[i] belong to
+  /// queries[i]. Exactly one of the pair is set per member — a query that
+  /// would throw when executed solo (e.g. an unsupported aggregate) gets its
+  /// exception captured here so one bad member cannot fail its batchmates.
+  struct BatchOutput {
+    std::vector<QueryOutput> outputs;
+    std::vector<std::exception_ptr> errors;
+  };
+
+  /// Shared-scan batched execution: evaluates every query's WHERE in one
+  /// fused pass over the store — each (part, page) crossbar visit runs all
+  /// members' gate programs back to back, zone-map classification is
+  /// computed once per (page, predicate list) through the classification
+  /// memo, and per-query survivors, group-by state and stats are demuxed on
+  /// readback. Each member's result rows and semantic stats (selectivity,
+  /// subgroup counts, planner inputs, prune counters) are byte-identical to
+  /// a solo execute() of the same query; modeled time/energy are attributed
+  /// per query from that query's own request traces (a member is never
+  /// billed for a batchmate's work) and stay deterministic at any
+  /// sim_threads. A single-member batch degenerates to execute().
+  BatchOutput execute_batch(const std::vector<const sql::BoundQuery*>& queries,
+                            const ExecOptions& opts = {});
 
   /// Filter-only scan: runs the WHERE conjunction as the usual bulk-bitwise
   /// filter phase (zone-map pruning and selectivity ordering included), then

@@ -142,6 +142,11 @@ class StoreSnapshot {
   /// store (programs depend on layout and predicates, not data; mutation
   /// invalidation is handled by the builder). Thread-safe by construction.
   FilterCache& filter_cache() const { return *filter_cache_; }
+  /// Static page classifications memoized per snapshot version.
+  /// Classification depends on the sketches, so unlike the filter cache the
+  /// memo cannot outlive its data version — each snapshot owns its own,
+  /// which dies (trivially correct invalidation) with the snapshot.
+  ClassificationMemo& classification_memo() const { return class_memo_; }
 
  private:
   std::uint64_t version_;
@@ -150,6 +155,7 @@ class StoreSnapshot {
   std::shared_ptr<const ZoneMaps> zones_;
   std::shared_ptr<SnapshotStats> stats_;
   FilterCache* filter_cache_;
+  mutable ClassificationMemo class_memo_;
   std::shared_ptr<std::atomic<std::int64_t>> live_counter_;
 };
 

@@ -251,6 +251,33 @@ TEST(SessionConcurrency, ConcurrentPrepareOnOneSessionIsSafe) {
   EXPECT_EQ(&a.bound(), &b.bound());
 }
 
+TEST(DatabaseConcurrency, RacingPreparesBindOncePerText) {
+  ConcurrencyFixture fx;
+  // A text no other test in this fixture prepared: the first racer binds it,
+  // the other seven must block on the claim and come back as cache hits.
+  const std::string sql =
+      "SELECT SUM(f_val) AS s FROM synthetic WHERE f_key < 77";
+  const std::uint64_t hits_before = fx.database.plan_cache_hits();
+  constexpr std::size_t kThreads = 8;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Fresh session per thread: nothing is memoized session-side, so every
+      // prepare goes to the database-scope cache.
+      db::Session session(fx.database, fast_options());
+      session.prepare(sql);
+    });
+  }
+  for (std::thread& s : threads) s.join();
+  // Bind-once: exactly one binder, exactly kThreads - 1 waiters-turned-hits.
+  EXPECT_EQ(fx.database.plan_cache_hits() - hits_before, kThreads - 1);
+
+  // The shared plan is one object across sessions.
+  db::Session s1(fx.database, fast_options());
+  db::Session s2(fx.database, fast_options());
+  EXPECT_EQ(&s1.prepare(sql).bound(), &s2.prepare(sql).bound());
+}
+
 // ---------------------------------------------------------------------------
 // Database catalog under concurrent readers + writers
 // ---------------------------------------------------------------------------
