@@ -7,6 +7,7 @@
 
 #include "db/backend.hpp"      // IWYU pragma: export
 #include "db/database.hpp"     // IWYU pragma: export
+#include "db/errors.hpp"       // IWYU pragma: export
 #include "db/result_set.hpp"   // IWYU pragma: export
 #include "db/service.hpp"      // IWYU pragma: export
 #include "db/session.hpp"      // IWYU pragma: export

@@ -1,0 +1,37 @@
+// Typed error taxonomy of the serving layer.
+//
+// Callers of db::QueryService can branch on what went wrong instead of
+// string-matching runtime_error texts: OverloadError means admission
+// control refused (or shed) the statement under load and the statement
+// never executed; ServiceStopped means shutdown() won the race and the
+// statement never executed. Execution-side aborts (deadline, cancel) come
+// back as engine::QueryTimeout / engine::QueryCancelled from
+// engine/cancel.hpp, and injected/transient device faults as the
+// engine/fault_injector.hpp hierarchy.
+#pragma once
+
+#include <stdexcept>
+
+namespace bbpim::db {
+
+class ServiceError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Admission control refused or shed the statement: the bounded queue was
+/// full under kReject, the bounded producer wait timed out under kBlock, or
+/// the statement was the longest-waiting victim under kShedOldest. The
+/// statement did not execute; retrying later (or against a less loaded
+/// service) is safe.
+class OverloadError : public ServiceError {
+  using ServiceError::ServiceError;
+};
+
+/// The service stopped before the statement could run: submit() after
+/// shutdown(), or the statement was still queued when shutdown() settled
+/// the backlog. The statement did not execute.
+class ServiceStopped : public ServiceError {
+  using ServiceError::ServiceError;
+};
+
+}  // namespace bbpim::db

@@ -102,6 +102,27 @@ class ResultSet {
   std::size_t classification_memo_hits() const {
     return is_update() ? 0 : out_.stats.classification_memo_hits;
   }
+  /// Shared-scan members re-executed solo after a batchmate failed the
+  /// fused pass (1 on such a result, else 0).
+  std::size_t batch_fallbacks() const {
+    return is_update() ? 0 : out_.stats.batch_fallbacks;
+  }
+
+  // --- serving-layer wall timings (0 unless served by db::QueryService) ----
+  /// Wall microseconds between submit() and a worker dequeuing the statement.
+  std::uint64_t queue_wait_us() const { return queue_wait_us_; }
+  /// Wall microseconds the worker spent executing it (retries included).
+  std::uint64_t service_us() const { return service_us_; }
+  /// Facade-internal (set by db::QueryService when it settles the future).
+  void set_service_timing(std::uint64_t queue_wait_us,
+                          std::uint64_t service_us) {
+    queue_wait_us_ = queue_wait_us;
+    service_us_ = service_us;
+    if (!is_update()) {
+      out_.stats.queue_wait_us = queue_wait_us;
+      out_.stats.service_us = service_us;
+    }
+  }
 
   /// Target-table data version this execution observed: the number of
   /// committed updates replayed into the executing store (for an UPDATE,
@@ -131,6 +152,8 @@ class ResultSet {
   BackendKind backend_ = BackendKind::kReference;
   std::optional<engine::UpdateStats> update_stats_;
   std::uint64_t data_version_ = 0;
+  std::uint64_t queue_wait_us_ = 0;
+  std::uint64_t service_us_ = 0;
   std::vector<std::pair<std::string, std::uint64_t>> table_versions_;
 };
 

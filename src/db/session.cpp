@@ -12,6 +12,7 @@
 #include "baseline/reference.hpp"
 #include "db/snapshot_manager.hpp"
 #include "engine/explain.hpp"
+#include "engine/fault_injector.hpp"
 #include "engine/hash_join.hpp"
 #include "engine/pim_store.hpp"
 #include "engine/prejoin.hpp"
@@ -98,7 +99,8 @@ class PimExecutor final : public Executor {
 
   engine::PimQueryEngine::BatchOutput execute_many(
       const std::vector<const sql::BoundQuery*>& queries,
-      const engine::ExecOptions& opts) override {
+      const engine::ExecOptions& opts,
+      const std::vector<engine::CancelToken>& cancels) override {
     bool grouped = false;
     for (const sql::BoundQuery* q : queries) grouped |= q->has_group_by();
     if (grouped && !opts.force_k.has_value()) ensure_models();
@@ -107,7 +109,7 @@ class PimExecutor final : public Executor {
     // landing mid-batch is observed by all members or by none.
     refresh();
     engine::PimQueryEngine::BatchOutput out =
-        engine_.execute_batch(queries, opts);
+        engine_.execute_batch(queries, opts, cancels);
     observed_version_ = snap_->version();
     return out;
   }
@@ -527,13 +529,20 @@ std::string Executor::explain_scan(const std::vector<sql::BoundPredicate>&) {
 
 engine::PimQueryEngine::BatchOutput Executor::execute_many(
     const std::vector<const sql::BoundQuery*>& queries,
-    const engine::ExecOptions& opts) {
+    const engine::ExecOptions& opts,
+    const std::vector<engine::CancelToken>& cancels) {
   engine::PimQueryEngine::BatchOutput out;
   out.outputs.resize(queries.size());
   out.errors.resize(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     try {
-      out.outputs[i] = execute(*queries[i], opts);
+      if (!cancels.empty() && cancels[i].valid()) {
+        engine::ExecOptions member_opts = opts;
+        member_opts.cancel = cancels[i];
+        out.outputs[i] = execute(*queries[i], member_opts);
+      } else {
+        out.outputs[i] = execute(*queries[i], opts);
+      }
     } catch (...) {
       out.errors[i] = std::current_exception();
     }
@@ -576,6 +585,10 @@ PreparedStatement Session::prepare(std::string_view sql_text) {
 }
 
 std::shared_ptr<const Plan> Session::build_plan(std::string_view sql_text) {
+  // Fault seam: binding sits before any shared state mutates (a throwing
+  // bind releases the Database plan-cache claim), so an injected fault here
+  // is transient — the service's retry re-binds cleanly.
+  engine::fault_point(engine::FaultSeam::kPlanBind);
   auto plan = std::make_shared<Plan>();
   plan->sql = std::string(sql_text);
   const sql::Statement stmt = sql::parse_statement(plan->sql);
@@ -627,6 +640,11 @@ ResultSet Session::execute_join(const Plan& plan, BackendKind backend,
   const std::vector<std::vector<std::size_t>> attrs =
       engine::join_scan_attrs(jp);
 
+  // Resolve the abort token ONCE for the whole join: the deadline covers
+  // every per-table scan plus the host build/probe, not each scan afresh.
+  engine::ExecOptions scan_opts = opts;
+  scan_opts.cancel = engine::resolve_cancel(opts);
+
   // One snapshot-pinned scan per touched table. The scans run sequentially
   // through this session's executors; each pins exactly one store version,
   // reported per table in the result's table_versions().
@@ -637,7 +655,8 @@ ResultSet Session::execute_join(const Plan& plan, BackendKind backend,
   std::uint64_t fact_version = 0;
   for (std::size_t t = 0; t < jp.table_names.size(); ++t) {
     Executor& ex = executor_for(backend, *plan.join_tables[t]);
-    engine::ScanOutput scan = ex.execute_scan(jp.filters[t], attrs[t], opts);
+    engine::ScanOutput scan =
+        ex.execute_scan(jp.filters[t], attrs[t], scan_opts);
     versions.emplace_back(jp.table_names[t], ex.last_data_version());
     if (t == jp.fact) {
       fact_version = ex.last_data_version();
@@ -671,7 +690,8 @@ ResultSet Session::execute_join(const Plan& plan, BackendKind backend,
 
   // Host-side partitioned hash join over the survivors; its build/probe CPU
   // time lands in the host-gb phase, the merge/sort in finalize.
-  engine::JoinOutput joined = engine::hash_join_execute(jp, inputs, opts_.host);
+  engine::JoinOutput joined =
+      engine::hash_join_execute(jp, inputs, opts_.host, scan_opts.cancel);
   stats.phases.host_gb += joined.stats.build_ns + joined.stats.probe_ns;
   stats.phases.finalize += joined.stats.finalize_ns;
   stats.total_ns += joined.stats.build_ns + joined.stats.probe_ns +
@@ -698,13 +718,22 @@ ResultSet Session::execute(std::string_view sql_text, BackendKind backend,
 }
 
 std::vector<Session::BatchItem> Session::execute_batch(
-    const std::vector<std::string>& sqls, const engine::ExecOptions& opts) {
-  return execute_batch(sqls, opts_.default_backend, opts);
+    const std::vector<std::string>& sqls, const engine::ExecOptions& opts,
+    const std::vector<engine::CancelToken>& cancels) {
+  return execute_batch(sqls, opts_.default_backend, opts, cancels);
 }
 
 std::vector<Session::BatchItem> Session::execute_batch(
     const std::vector<std::string>& sqls, BackendKind backend,
-    const engine::ExecOptions& opts) {
+    const engine::ExecOptions& opts,
+    const std::vector<engine::CancelToken>& cancels) {
+  if (!cancels.empty() && cancels.size() != sqls.size()) {
+    throw std::invalid_argument(
+        "Session::execute_batch: cancels must be empty or one per statement");
+  }
+  const auto token_of = [&](std::size_t i) {
+    return i < cancels.size() ? cancels[i] : engine::CancelToken{};
+  };
   std::vector<BatchItem> items(sqls.size());
 
   // Front end, per statement: a text that fails to parse or bind carries
@@ -750,14 +779,26 @@ std::vector<Session::BatchItem> Session::execute_batch(
   for (Group& g : groups) {
     // Duplicate texts share one plan (the cache interns by SQL text); the
     // engine executes each unique plan once and every duplicate copies the
-    // result — the cheapest scan is the one that never runs.
+    // result — the cheapest scan is the one that never runs. Members that
+    // carry their own abort token are never interned: a cancelled member
+    // must not take a duplicate's result (or fate) with it.
     std::vector<const Plan*> unique;
+    std::vector<engine::CancelToken> unique_cancels;
     std::vector<std::size_t> slot_of(g.members.size());
     for (std::size_t m = 0; m < g.members.size(); ++m) {
-      const Plan* p = plans[g.members[m]].get();
-      std::size_t u = 0;
-      while (u < unique.size() && unique[u] != p) ++u;
-      if (u == unique.size()) unique.push_back(p);
+      const std::size_t i = g.members[m];
+      const Plan* p = plans[i].get();
+      const engine::CancelToken tok = token_of(i);
+      std::size_t u = unique.size();
+      if (!tok.valid()) {
+        for (u = 0; u < unique.size(); ++u) {
+          if (unique[u] == p && !unique_cancels[u].valid()) break;
+        }
+      }
+      if (u == unique.size()) {
+        unique.push_back(p);
+        unique_cancels.push_back(tok);
+      }
       slot_of[m] = u;
     }
     std::vector<const sql::BoundQuery*> queries;
@@ -767,8 +808,13 @@ std::vector<Session::BatchItem> Session::execute_batch(
     std::vector<std::size_t> dup_count(unique.size(), 0);
     for (const std::size_t u : slot_of) ++dup_count[u];
 
+    bool any_token = false;
+    for (const engine::CancelToken& t : unique_cancels) any_token |= t.valid();
+    if (!any_token) unique_cancels.clear();
+
     Executor& ex = executor_for(backend, *g.target);
-    engine::PimQueryEngine::BatchOutput out = ex.execute_many(queries, opts);
+    engine::PimQueryEngine::BatchOutput out =
+        ex.execute_many(queries, opts, unique_cancels);
     const std::uint64_t version = ex.last_data_version();
     for (std::size_t m = 0; m < g.members.size(); ++m) {
       const std::size_t i = g.members[m];
@@ -801,8 +847,16 @@ std::vector<Session::BatchItem> Session::execute_batch(
       continue;
     }
     try {
-      items[i].result = PreparedStatement(*this, plans[i]).execute(backend,
-                                                                   opts);
+      const engine::CancelToken tok = token_of(i);
+      if (tok.valid()) {
+        engine::ExecOptions member_opts = opts;
+        member_opts.cancel = tok;
+        items[i].result =
+            PreparedStatement(*this, plans[i]).execute(backend, member_opts);
+      } else {
+        items[i].result = PreparedStatement(*this, plans[i]).execute(backend,
+                                                                     opts);
+      }
     } catch (...) {
       items[i].error = std::current_exception();
     }

@@ -159,10 +159,12 @@ class Executor {
   /// set per member. The default runs the queries one by one (the host
   /// baselines have no page pass to share); PIM executors override it with
   /// the engine's shared-scan fused pass, serving every member from ONE
-  /// pinned snapshot version.
+  /// pinned snapshot version. `cancels`, when non-empty, aligns with
+  /// `queries` and carries each member's own cancellation token.
   virtual engine::PimQueryEngine::BatchOutput execute_many(
       const std::vector<const sql::BoundQuery*>& queries,
-      const engine::ExecOptions& opts);
+      const engine::ExecOptions& opts,
+      const std::vector<engine::CancelToken>& cancels = {});
   /// Applies a bound UPDATE (Algorithm 1) and commits it to the table's
   /// update log. Throws std::invalid_argument for backends that cannot
   /// mutate (the host baselines read the immutable catalog table).
@@ -235,11 +237,19 @@ class Session {
   /// statement order, exactly as today. Results align with `sqls`; each
   /// item's rows and semantic stats are byte-identical to a solo execute()
   /// of the same text.
-  std::vector<BatchItem> execute_batch(const std::vector<std::string>& sqls,
-                                       const engine::ExecOptions& opts = {});
-  std::vector<BatchItem> execute_batch(const std::vector<std::string>& sqls,
-                                       BackendKind backend,
-                                       const engine::ExecOptions& opts = {});
+  /// `cancels`, when non-empty, aligns with `sqls` and carries each
+  /// statement's own cancellation token (the QueryService threads per-
+  /// submission tokens through here). Statements with distinct tokens are
+  /// not interned into one execution — a cancelled member must never take a
+  /// duplicate's result (or fate) with it.
+  std::vector<BatchItem> execute_batch(
+      const std::vector<std::string>& sqls,
+      const engine::ExecOptions& opts = {},
+      const std::vector<engine::CancelToken>& cancels = {});
+  std::vector<BatchItem> execute_batch(
+      const std::vector<std::string>& sqls, BackendKind backend,
+      const engine::ExecOptions& opts = {},
+      const std::vector<engine::CancelToken>& cancels = {});
 
   /// EXPLAIN on the default (or given) PIM backend.
   std::string explain(std::string_view sql_text);

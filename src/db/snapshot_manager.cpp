@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/fault_injector.hpp"
+
 namespace bbpim::db {
 
 SnapshotManager::SnapshotManager(const rel::Table& table,
@@ -51,6 +53,9 @@ void SnapshotManager::publish_locked(const std::vector<std::size_t>& touched) {
 
 std::shared_ptr<const engine::StoreSnapshot> SnapshotManager::acquire(
     const host::HostConfig& hcfg) {
+  // Fault seam: before the lock, so nothing is pinned or half-replayed when
+  // an injected pin failure unwinds — a retry starts from scratch.
+  engine::fault_point(engine::FaultSeam::kSnapshotPin);
   std::lock_guard<std::mutex> lock(mutex_);
   ensure_builder_locked();
   if (current_ != nullptr &&
@@ -69,6 +74,10 @@ std::shared_ptr<const engine::StoreSnapshot> SnapshotManager::acquire(
 engine::UpdateStats SnapshotManager::apply_update(
     const sql::BoundUpdate& update, const host::HostConfig& hcfg,
     std::uint64_t* version_out) {
+  // Fault seam: at entry, before any builder mutation or log append — an
+  // injected commit failure leaves the store untouched, so a service retry
+  // applies the update exactly once.
+  engine::fault_point(engine::FaultSeam::kUpdateCommit);
   std::lock_guard<std::mutex> lock(mutex_);
   ensure_builder_locked();
   // Writer side: the exclusive gate totally orders log appends across every

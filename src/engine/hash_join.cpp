@@ -56,7 +56,8 @@ std::vector<std::vector<std::size_t>> join_scan_attrs(
 
 JoinOutput hash_join_execute(const sql::BoundJoin& plan,
                              const std::vector<JoinScanInput>& scans,
-                             const host::HostConfig& hcfg) {
+                             const host::HostConfig& hcfg,
+                             const CancelToken& cancel) {
   if (scans.size() != plan.table_names.size()) {
     throw std::invalid_argument("hash_join_execute: one scan per table");
   }
@@ -87,6 +88,7 @@ JoinOutput hash_join_execute(const sql::BoundJoin& plan,
   builds.reserve(plan.builds.size());
   std::size_t build_total = 0;
   for (const sql::BoundBuildSide& side : plan.builds) {
+    cancel.check();  // per build side: each is a full pass over one dim scan
     Build b;
     b.side = &side;
     b.single = side.dim_attrs.size() == 1;
@@ -179,6 +181,8 @@ JoinOutput hash_join_execute(const sql::BoundJoin& plan,
   std::vector<const std::vector<std::uint32_t>*> matches(builds.size());
   GroupKey probe_key;
   for (std::size_t r = 0; r < js.probe_rows; ++r) {
+    // Periodic checkpoint: one clock read per 64K probed rows.
+    if ((r & 0xFFFF) == 0) cancel.check();
     bool ok = true;
     for (std::size_t b = 0; b < builds.size(); ++b) {
       Build& bd = builds[b];

@@ -57,9 +57,13 @@ struct JoinOutput {
 
 /// Executes the join tree over per-table scan survivors (`scans` aligned
 /// with plan.table_names). Duplicate build keys produce the full cross
-/// product, matching SQL join semantics.
+/// product, matching SQL join semantics. `cancel` is checked per build side
+/// and periodically inside the probe loop, so an expired or cancelled join
+/// unwinds with the usual engine::QueryTimeout/QueryCancelled instead of
+/// probing to completion.
 JoinOutput hash_join_execute(const sql::BoundJoin& plan,
                              const std::vector<JoinScanInput>& scans,
-                             const host::HostConfig& hcfg);
+                             const host::HostConfig& hcfg,
+                             const CancelToken& cancel = {});
 
 }  // namespace bbpim::engine

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "common/parallel.hpp"
+#include "engine/fault_injector.hpp"
 #include "engine/filter_compiler.hpp"
 #include "host/pipeline.hpp"
 #include "host/read_set.hpp"
@@ -61,10 +62,13 @@ class Execution {
   /// batch mode: scratch columns come from the batch's shared allocators —
   /// private allocators would hand different queries the same physical
   /// columns — and nothing else changes. nullptr (solo) builds private ones.
+  /// `cancel_override` (batch mode) replaces the token resolve_cancel would
+  /// derive from `opts` — each fused member checks its own token.
   Execution(EngineKind kind, PimStore& store, const host::HostConfig& hcfg,
             const LatencyModels& models, const sql::BoundQuery& q,
             const ExecOptions& opts,
-            std::vector<pim::ColumnAlloc>* shared_allocs = nullptr)
+            std::vector<pim::ColumnAlloc>* shared_allocs = nullptr,
+            const CancelToken* cancel_override = nullptr)
       : kind_(kind),
         store_(store),
         cfg_(store.module().config()),
@@ -76,6 +80,8 @@ class Execution {
         vectorized_(!opts.sim_scalar),
         prune_(opts.prune.value_or(hcfg.prune)),
         wallprof_(std::getenv("BBPIM_SIM_WALLPROF") != nullptr) {
+    cancel_ = cancel_override != nullptr ? *cancel_override
+                                         : resolve_cancel(opts);
     if (shared_allocs != nullptr) {
       alloc_src_ = shared_allocs;
     } else {
@@ -238,6 +244,11 @@ class Execution {
       for (const std::size_t p : run) jobs.push_back({&pp, p});
     }
     if (jobs.empty()) return;
+    // Cooperative checkpoint + fault seam at page-loop entry: unwinding here
+    // is clean (no job has touched a crossbar yet), and the check stays off
+    // the per-page kernels.
+    cancel_.check();
+    fault_point(FaultSeam::kCrossbarVisit);
     std::vector<pim::RequestTrace> traces(jobs.size());
     run_jobs(jobs.size(), [&](std::size_t i, pim::EnergyMeter& meter) {
       const Job& j = jobs[i];
@@ -257,6 +268,8 @@ class Execution {
       const std::vector<std::size_t>* pages_list = nullptr) {
     const std::vector<std::size_t>& run =
         pages_list != nullptr ? *pages_list : all_pages_;
+    cancel_.check();
+    fault_point(FaultSeam::kReadback);
     std::vector<BitVec> out(pages());
     std::vector<pim::RequestTrace> traces(run.size());
     run_jobs(run.size(), [&](std::size_t i, pim::EnergyMeter& meter) {
@@ -456,6 +469,8 @@ class Execution {
   pim::PowerTracker tracker_;
   TimeNs clock_ = 0;
   QueryStats stats_;
+  /// Effective abort token (empty = every check free); see the ctor.
+  CancelToken cancel_;
 
   std::uint16_t r_col_ = 0;          ///< filter result on part 0
   std::uint16_t mask_col_ = 0;       ///< OR of pim-gb subgroup selects
@@ -1190,6 +1205,7 @@ void Execution::pim_gb_phase() {
       !opts_.skip_host_gb &&
       !(candidates_complete_ && chosen_k_ == candidates_.size());
   for (std::size_t g = 0; g < chosen_k_; ++g) {
+    cancel_.check();  // per-subgroup boundary: each group is a full PIM pass
     const auto [value, count] =
         aggregate_group(candidates_[g].key, /*update_mask=*/host_side_needed);
     if (count > 0) {
@@ -1500,6 +1516,7 @@ void Execution::finalize_phase() {
 // ---------------------------------------------------------------------------
 
 QueryOutput Execution::run() {
+  cancel_.check();
   store_.module().reset_wear();
   wall("agg_passes", [&] { build_agg_passes(); });
   wall("filter", [&] { filter_phase(); });
@@ -1507,6 +1524,7 @@ QueryOutput Execution::run() {
 }
 
 QueryOutput Execution::finish_run() {
+  cancel_.check();
   // Early-exit aggregation on statically empty selects: every page was
   // skipped by the zone maps, so the host knows — without one PIM request —
   // that zero records survive. The plan-semantic stats (candidates, chosen
@@ -1617,6 +1635,14 @@ void Execution::run_fused_filter(const std::vector<Execution*>& execs) {
   }
   if (visits.empty()) return;
 
+  // A member cancelled before the fused pass aborts the whole batch here;
+  // PimQueryEngine::execute_batch's fallback then re-runs every member solo,
+  // so batchmates still get their exact rows and stats. The fused pass is a
+  // crossbar-visit seam of its own: an injected fault here exercises the
+  // same fallback.
+  for (Execution* e : execs) e->cancel_.check();
+  fault_point(FaultSeam::kCrossbarVisit);
+
   // Flat (visit, member) slots. Journal meters always — even single-thread —
   // so every run performs the identical per-member sequence of meter adds
   // regardless of how visits were scheduled across simulation threads.
@@ -1709,6 +1735,7 @@ QueryOutput Execution::batch_finish() {
 // ---------------------------------------------------------------------------
 
 ScanOutput Execution::run_scan(const std::vector<std::size_t>& attrs) {
+  cancel_.check();
   store_.module().reset_wear();
   filter_phase();
 
@@ -1805,6 +1832,25 @@ ScanOutput Execution::run_scan(const std::vector<std::size_t>& attrs) {
 
 }  // namespace
 
+CancelToken resolve_cancel(const ExecOptions& opts) {
+  if (opts.cancel.state != nullptr) {
+    // Arm the caller's token from deadline_us exactly once: a token that
+    // already carries a deadline (e.g. armed at submission so queue wait
+    // counts against the budget) keeps it.
+    if (opts.deadline_us > 0 && !opts.cancel.state->has_deadline()) {
+      opts.cancel.state->set_deadline(
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(opts.deadline_us));
+    }
+    return opts.cancel;
+  }
+  if (opts.deadline_us == 0) return {};
+  CancelToken token = make_cancel_token();
+  token.state->set_deadline(std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(opts.deadline_us));
+  return token;
+}
+
 // ===========================================================================
 // PimQueryEngine
 // ===========================================================================
@@ -1828,16 +1874,33 @@ QueryOutput PimQueryEngine::execute(const sql::BoundQuery& q,
 
 PimQueryEngine::BatchOutput PimQueryEngine::execute_batch(
     const std::vector<const sql::BoundQuery*>& queries,
-    const ExecOptions& opts) {
+    const ExecOptions& opts, const std::vector<CancelToken>& cancels) {
   BatchOutput out;
   out.outputs.resize(queries.size());
   out.errors.resize(queries.size());
   if (queries.empty()) return out;
+  // Per-member effective tokens: the aligned override when given, else the
+  // one token `opts` resolves to (shared by every member, as for a solo run).
+  std::vector<CancelToken> tokens;
+  tokens.reserve(queries.size());
+  if (cancels.empty()) {
+    const CancelToken shared_token = resolve_cancel(opts);
+    tokens.assign(queries.size(), shared_token);
+  } else {
+    for (const CancelToken& t : cancels) {
+      tokens.push_back(t.valid() ? t : resolve_cancel(opts));
+    }
+  }
+  const auto solo = [&](std::size_t i) {
+    Execution exec(kind_, *store_, hcfg_, models_, *queries[i], opts,
+                   /*shared_allocs=*/nullptr, &tokens[i]);
+    return exec.run();
+  };
   if (queries.size() == 1) {
     // Degenerate batch: exactly today's solo path, stats included
     // (batched_queries stays 0).
     try {
-      out.outputs[0] = execute(*queries[0], opts);
+      out.outputs[0] = solo(0);
     } catch (...) {
       out.errors[0] = std::current_exception();
     }
@@ -1858,9 +1921,10 @@ PimQueryEngine::BatchOutput PimQueryEngine::execute_batch(
 
     std::vector<std::unique_ptr<Execution>> execs;
     execs.reserve(queries.size());
-    for (const sql::BoundQuery* q : queries) {
-      execs.push_back(std::make_unique<Execution>(kind_, *store_, hcfg_,
-                                                  models_, *q, opts, &shared));
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      execs.push_back(std::make_unique<Execution>(
+          kind_, *store_, hcfg_, models_, *queries[i], opts, &shared,
+          &tokens[i]));
     }
     std::vector<Execution*> raw;
     raw.reserve(execs.size());
@@ -1884,7 +1948,8 @@ PimQueryEngine::BatchOutput PimQueryEngine::execute_batch(
       out.outputs[i] = QueryOutput{};
       out.errors[i] = nullptr;
       try {
-        out.outputs[i] = execute(*queries[i], opts);
+        out.outputs[i] = solo(i);
+        out.outputs[i].stats.batch_fallbacks = 1;
       } catch (...) {
         out.errors[i] = std::current_exception();
       }

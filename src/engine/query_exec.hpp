@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "engine/cancel.hpp"
 #include "engine/groupby.hpp"
 #include "engine/latency_model.hpp"
 #include "engine/pim_store.hpp"
@@ -111,6 +112,16 @@ struct QueryStats {
   /// memo instead of recomputed (batch members sharing a WHERE, or repeated
   /// executions against the same store version).
   std::size_t classification_memo_hits = 0;
+
+  // --- serving-layer wall timings and robustness (set by db::QueryService;
+  // --- zero for direct engine/session executions) --------------------------
+  /// Wall-clock the statement spent queued before a worker picked it up.
+  std::uint64_t queue_wait_us = 0;
+  /// Wall-clock of the serving attempt(s): execution plus any retry backoff.
+  std::uint64_t service_us = 0;
+  /// 1 when this result came from the shared-scan member-failure fallback:
+  /// the fused pass aborted and this member was re-executed solo.
+  std::size_t batch_fallbacks = 0;
 };
 
 struct ResultRow {
@@ -161,9 +172,30 @@ struct ExecOptions {
   /// fingerprint. Unset defers to HostConfig::prune.
   std::optional<bool> prune;
 
-  /// Batch admission groups only executions with identical knobs.
-  bool operator==(const ExecOptions&) const = default;
+  /// Wall-clock budget for this statement in microseconds; 0 = none. The
+  /// clock starts at submission (db::QueryService arms it in submit()) or at
+  /// execution start for direct Session/engine use. Expiry unwinds the query
+  /// with engine::QueryTimeout at the next cooperative checkpoint.
+  std::uint64_t deadline_us = 0;
+  /// Cooperative cancellation handle; empty = never cancelled, all checks
+  /// free. See engine/cancel.hpp.
+  CancelToken cancel;
+
+  /// Batch admission groups only executions with identical simulation knobs.
+  /// deadline_us and cancel are deliberately excluded: statements with
+  /// different deadlines still fuse into one shared scan (each member checks
+  /// its own token).
+  bool operator==(const ExecOptions& o) const {
+    return force_k == o.force_k && skip_host_gb == o.skip_host_gb &&
+           sim_threads == o.sim_threads && sim_scalar == o.sim_scalar &&
+           prune == o.prune;
+  }
 };
+
+/// The effective token of an execution: the explicit token when set (arming
+/// its deadline from deadline_us if it carries none), else a fresh token
+/// armed deadline_us from now, else the empty (free) token.
+CancelToken resolve_cancel(const ExecOptions& opts);
 
 class PimQueryEngine {
  public:
@@ -193,8 +225,15 @@ class PimQueryEngine {
   /// per query from that query's own request traces (a member is never
   /// billed for a batchmate's work) and stay deterministic at any
   /// sim_threads. A single-member batch degenerates to execute().
+  /// `cancels`, when non-empty, carries one CancelToken per member (aligned
+  /// with `queries`), overriding opts.cancel member-by-member: a cancelled
+  /// or expired member aborts the fused pass, which falls back to solo
+  /// re-execution of every member — batchmates get their exact solo rows
+  /// and stats (with stats.batch_fallbacks = 1), the aborted member gets
+  /// its typed QueryTimeout/QueryCancelled.
   BatchOutput execute_batch(const std::vector<const sql::BoundQuery*>& queries,
-                            const ExecOptions& opts = {});
+                            const ExecOptions& opts = {},
+                            const std::vector<CancelToken>& cancels = {});
 
   /// Filter-only scan: runs the WHERE conjunction as the usual bulk-bitwise
   /// filter phase (zone-map pruning and selectivity ordering included), then

@@ -292,6 +292,10 @@ TEST(BatchExec, ErrorsStayPerStatement) {
                                 good1);
     expect_semantic_stats_equal(items[2].result.stats(), good2_solo.stats(),
                                 good2);
+    // The survivors were served by the fused pass' solo fallback — and say
+    // so, so the service can count member-failure fallbacks.
+    EXPECT_EQ(items[0].result.batch_fallbacks(), 1u);
+    EXPECT_EQ(items[2].result.batch_fallbacks(), 1u);
   }
 }
 

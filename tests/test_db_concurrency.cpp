@@ -175,7 +175,7 @@ TEST(QueryService, ErrorsPropagateWithoutKillingWorkers) {
                    kQueries[0]);
 }
 
-TEST(QueryService, GracefulShutdownDrainsThenRejects) {
+TEST(QueryService, ShutdownSettlesEveryFutureThenRejects) {
   ConcurrencyFixture fx;
   db::QueryServiceOptions opts;
   opts.workers = 2;
@@ -186,12 +186,26 @@ TEST(QueryService, GracefulShutdownDrainsThenRejects) {
   for (std::size_t i = 0; i < 8; ++i) {
     inflight.push_back(service.submit(kQueries[i % kQueryCount]));
   }
-  service.shutdown();  // must drain the 8 in-flight queries first
+  // Every future settles promptly: statements a worker already picked up
+  // complete with the usual byte-identical result, still-queued ones get a
+  // typed ServiceStopped instead of silently executing after intake closed.
+  service.shutdown();
+  std::size_t completed = 0;
+  std::size_t stopped = 0;
   for (std::size_t i = 0; i < inflight.size(); ++i) {
-    expect_identical(inflight[i].get(), fx.expected[i % kQueryCount],
-                     "in-flight during shutdown");
+    try {
+      expect_identical(inflight[i].get(), fx.expected[i % kQueryCount],
+                       "in-flight during shutdown");
+      ++completed;
+    } catch (const db::ServiceStopped&) {
+      ++stopped;
+    }
   }
-  EXPECT_THROW(service.submit(kQueries[0]), std::runtime_error);
+  EXPECT_EQ(completed + stopped, inflight.size());
+  EXPECT_EQ(service.executed_count(), completed);
+  EXPECT_THROW(service.submit(kQueries[0]), db::ServiceStopped);
+  EXPECT_THROW(service.submit(kQueries[0]), std::runtime_error)
+      << "ServiceStopped must stay a runtime_error for legacy catch sites";
   service.shutdown();  // idempotent
 }
 
